@@ -1,0 +1,88 @@
+// Reproduces the Sec. 2.1 remark comparing the multi-clock scheme against
+// the "duplicating hardware" technique of Piguet et al. [12]: duplicate the
+// conventional datapath, run each copy at f/2, and scale the supply voltage
+// down to the point where the halved-speed copy still meets timing.
+//
+// With a first-order CMOS delay model  d ~ V / (V - Vt)^2  (Vt = 0.8 V,
+// 0.8 um class), halving the frequency allows V' such that d(V') = 2 d(V).
+// Duplication power: P_dup = 2 * (C_conv) * V'^2 * (f/2) = C_conv V'^2 f,
+// i.e. the voltage ratio squared times the conventional power — but at
+// twice the area. The paper's point: synthesis-based partitioning gets
+// comparable or better savings *without* duplication's area doubling and
+// without a second supply voltage.
+#include <cmath>
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "suite/benchmarks.hpp"
+#include "table_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+/// First-order alpha-power delay model: d(V) = k * V / (V - Vt)^2.
+double delay_factor(double v, double vt) { return v / ((v - vt) * (v - vt)); }
+
+/// Lowest voltage (>= vt + 0.2) whose delay is <= `slowdown` x the delay at
+/// `v0` (bisection).
+double scaled_voltage(double v0, double vt, double slowdown) {
+  const double target = slowdown * delay_factor(v0, vt);
+  double lo = vt + 0.2, hi = v0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (delay_factor(mid, vt) <= target) {
+      hi = mid;  // still fast enough: can go lower
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sec. 2.1 remark: multi-clock synthesis vs hardware "
+              "duplication + voltage scaling [12] ===\n\n");
+  const double v0 = 4.65, vt = 0.8;
+  const double v2 = scaled_voltage(v0, vt, 2.0);  // run at f/2
+  std::printf("delay model d ~ V/(V-Vt)^2, Vt=%.1fV: half-speed operation "
+              "allows V' = %.2f V (from %.2f V)\n\n", vt, v2, v0);
+
+  TextTable t({"benchmark", "conv gated[mW]", "duplication[mW]",
+               "3 clocks[mW]", "dup area", "3clk area"});
+  for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+    const auto b = suite::by_name(name, 4);
+    core::SynthesisOptions opts;
+    opts.style = core::DesignStyle::ConventionalGated;
+    const auto conv = bench::run_style(b, opts, 2000, 31);
+    opts.style = core::DesignStyle::MultiClock;
+    opts.num_clocks = 3;
+    const auto mc3 = bench::run_style(b, opts, 2000, 31);
+
+    // Duplication: two conventional copies, each at f/2 and V'. Same total
+    // switched capacitance per computation as one copy at f, so
+    // P_dup = P_conv * (V'/V)^2 (+ a mux/merge overhead ~5 %); area ~2x.
+    const double ratio = (v2 * v2) / (v0 * v0);
+    const double p_dup = conv.power_mw * ratio * 1.05;
+    const double a_dup = conv.area_lambda2 * 2.0 * 0.95;  // shared pads
+
+    t.add_row({name, format_fixed(conv.power_mw, 2), format_fixed(p_dup, 2),
+               format_fixed(mc3.power_mw, 2),
+               str_format("%+.0f%%", 100.0 * (a_dup - conv.area_lambda2) /
+                                          conv.area_lambda2),
+               str_format("%+.0f%%", 100.0 * (mc3.area_lambda2 -
+                                              conv.area_lambda2) /
+                                          conv.area_lambda2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nduplication wins on raw power (aggressive voltage scaling) "
+              "but doubles area and needs a second supply; the paper's\n"
+              "scheme reaches its savings at the same supply voltage with a "
+              "modest area increase ('the increase is far from\n"
+              "duplication', Sec. 2.1).\n");
+  return 0;
+}

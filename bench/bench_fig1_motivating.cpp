@@ -1,0 +1,103 @@
+// Reproduces Fig. 1 and the §2.1/§2.2 analysis of the motivating example:
+//
+//  * Circuit 1 — minimal-resource conventional allocation (two (+,-) ALUs,
+//    one clock), with and without gated-clock power management;
+//  * Circuit 2 — the odd/even-partitioned datapath on two non-overlapping
+//    clocks (three ALUs, disjoint subcircuits).
+//
+// The paper's §2.2 busy-factor analysis (Circuit 1 components busy ~75 % of
+// slots vs ~50 % for Circuit 2) is checked from the measured load-enable
+// activity, and the power comparison of the three management regimes is
+// printed.
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+#include "table_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+struct Measured {
+  bench::Row row;
+  double busy_fraction;  // average fraction of steps storage actually loads
+};
+
+Measured run(const suite::Benchmark& b, core::DesignStyle style, int clocks) {
+  core::SynthesisOptions opts;
+  opts.style = style;
+  opts.num_clocks = clocks;
+  Measured m;
+  m.row = bench::run_style(b, opts, 4000, 42);
+
+  // Busy factor: measured storage clock events per storage per step for the
+  // gated variants (for non-gated, every cycle is an event by construction).
+  auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+  Rng rng(42);
+  const auto stream = sim::uniform_stream(rng, b.graph->inputs().size(), 500,
+                                          b.graph->width());
+  sim::Simulator s(*syn.design);
+  const auto res = s.run(stream, b.graph->inputs(), b.graph->outputs());
+  std::uint64_t events = 0;
+  std::uint64_t cells = 0;
+  for (const auto& c : syn.design->netlist.components()) {
+    if (!rtl::is_storage(c.kind)) continue;
+    events += res.activity.storage_clock_events[c.id.index()];
+    ++cells;
+  }
+  m.busy_fraction = static_cast<double>(events) /
+                    (static_cast<double>(cells) *
+                     static_cast<double>(res.activity.steps));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1 / Sec. 2: motivating example — Circuit 1 vs Circuit 2 ===\n");
+  const auto b = suite::motivating(4);
+  std::printf("behaviour: 6 (+,-) ops in 5 steps; schedule N1@T1 N2@T2 N3,N4@T3 "
+              "N5@T4 N6@T5\n\n");
+
+  const Measured c1_plain = run(b, core::DesignStyle::ConventionalNonGated, 1);
+  const Measured c1_gated = run(b, core::DesignStyle::ConventionalGated, 1);
+  const Measured c2 = run(b, core::DesignStyle::MultiClock, 2);
+
+  TextTable t({"Design", "Power[mW]", "ALUs", "Mem", "MuxIn",
+               "storage busy"});
+  auto add = [&](const char* label, const Measured& m) {
+    t.add_row({label, format_fixed(m.row.power_mw, 2), m.row.alus,
+               std::to_string(m.row.mem_cells), std::to_string(m.row.mux_inputs),
+               format_fixed(m.busy_fraction, 3)});
+  };
+  add("Circuit 1 (no power mgmt)", c1_plain);
+  add("Circuit 1 (conventional gated)", c1_gated);
+  add("Circuit 2 (2 non-overlapping clocks)", c2);
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\npaper Sec 2.1: P1 = C1 V^2 f vs P2 = (C21+C22) V^2 f/2 — "
+              "2-clock wins when C21+C22 < 2 C1\n");
+  std::printf("  measured: Circuit 2 vs ungated Circuit 1: %+.1f%% power\n",
+              100.0 * (c2.row.power_mw - c1_plain.row.power_mw) /
+                  c1_plain.row.power_mw);
+  std::printf("paper Sec 2.2: vs conventional management, 2-clock wins when "
+              "C21+C22 < 3/2 C1\n");
+  std::printf("  measured: Circuit 2 vs gated Circuit 1:   %+.1f%% power\n",
+              100.0 * (c2.row.power_mw - c1_gated.row.power_mw) /
+                  c1_gated.row.power_mw);
+  std::printf("\nbusy factors (paper: Circuit 1 ~75%%, Circuit 2 ~50%% per "
+              "component-slot; ours are per-storage load rates under\n"
+              "non-overlapped computations, so lower in absolute terms but "
+              "ordered the same way):\n");
+  std::printf("  Circuit 1 storage load rate %.3f > Circuit 2 storage load "
+              "rate %.3f : %s\n",
+              c1_gated.busy_fraction, c2.busy_fraction,
+              c1_gated.busy_fraction > c2.busy_fraction ? "OK" : "MISMATCH");
+  return 0;
+}

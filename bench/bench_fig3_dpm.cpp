@@ -1,0 +1,35 @@
+// Reproduces Fig. 3: the RTL structural model — Functional Blocks (two
+// muxes -> ALU -> memory elements) composed into Datapath Modules, one DPM
+// per non-overlapping clock. Prints the extracted FB/DPM structure of each
+// paper benchmark's 2- and 3-clock design and runs the Sec. 3.2 timing
+// safety checks on every one.
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "rtl/analysis.hpp"
+#include "suite/benchmarks.hpp"
+
+using namespace mcrtl;
+
+int main() {
+  std::printf("=== Fig. 3: Functional Block / Datapath Module structure ===\n\n");
+  bool all_safe = true;
+  for (const char* name : {"motivating", "facet", "hal", "biquad", "bandpass"}) {
+    for (int n : {2, 3}) {
+      const auto b = suite::by_name(name, 4);
+      core::SynthesisOptions opts;
+      opts.style = core::DesignStyle::MultiClock;
+      opts.num_clocks = n;
+      const auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+      std::printf("%s", rtl::describe_dpms(*syn.design).c_str());
+      const auto rep = rtl::check_timing_safety(*syn.design);
+      std::printf("timing safety (storage phases, latch transparency, "
+                  "latched control): %s\n\n",
+                  rep.safe ? "OK" : rep.violations[0].c_str());
+      all_safe &= rep.safe;
+    }
+  }
+  std::printf("all designs: disjoint DPMs, one clock each, Sec 3.2 "
+              "requirements %s\n", all_safe ? "hold" : "VIOLATED");
+  return all_safe ? 0 : 1;
+}

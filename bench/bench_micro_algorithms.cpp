@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks of the synthesis algorithms themselves:
+// scheduling, lifetime analysis, left-edge packing, FU binding, transfer
+// insertion, full synthesis and simulation throughput, as a function of DFG
+// size.
+#include <benchmark/benchmark.h>
+
+#include "alloc/conventional.hpp"
+#include "core/synthesizer.hpp"
+#include "dfg/random_graph.hpp"
+#include "dfg/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcrtl;
+
+dfg::Graph make_graph(std::int64_t nodes) {
+  Rng rng(static_cast<std::uint64_t>(nodes) * 7919 + 3);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_nodes = static_cast<unsigned>(nodes);
+  cfg.width = 8;
+  return dfg::random_graph(rng, cfg);
+}
+
+void BM_ScheduleAsap(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::schedule_asap(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleAsap)->Range(16, 1024)->Complexity();
+
+void BM_ScheduleList(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  dfg::ResourceLimits limits;
+  limits.default_limit = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::schedule_list(g, limits));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleList)->Range(16, 512)->Complexity();
+
+void BM_ScheduleForceDirected(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  const int horizon = static_cast<int>(g.critical_path_length()) + 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::schedule_force_directed(g, horizon));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleForceDirected)->Range(16, 256)->Complexity();
+
+void BM_ConventionalAllocation(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  const dfg::Schedule s = dfg::schedule_asap(g);
+  const alloc::LifetimeAnalysis lts(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::allocate_conventional(s, lts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConventionalAllocation)->Range(16, 512)->Complexity();
+
+void BM_IntegratedAllocation3Clocks(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  const dfg::Schedule s = dfg::schedule_asap(g);
+  core::IntegratedOptions opts;
+  opts.num_clocks = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_integrated(g, s, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntegratedAllocation3Clocks)->Range(16, 512)->Complexity();
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const dfg::Graph g = make_graph(state.range(0));
+  const dfg::Schedule s = dfg::schedule_asap(g);
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::MultiClock;
+  opts.num_clocks = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::synthesize(g, s, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSynthesis)->Range(16, 256)->Complexity();
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  const dfg::Graph g = make_graph(64);
+  const dfg::Schedule s = dfg::schedule_asap(g);
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::MultiClock;
+  opts.num_clocks = 2;
+  const auto syn = core::synthesize(g, s, opts);
+  Rng rng(5);
+  const auto stream = sim::uniform_stream(
+      rng, g.inputs().size(), static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    sim::Simulator simulator(*syn.design);
+    benchmark::DoNotOptimize(simulator.run(stream, g.inputs(), g.outputs()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationThroughput)->Range(64, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

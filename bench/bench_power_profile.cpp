@@ -1,0 +1,56 @@
+// Per-step power profile: the multi-clock scheme's mechanism made visible.
+// In a conventional single-clock datapath the whole circuit switches every
+// master cycle; under n non-overlapping clocks only one partition switches
+// per cycle, so the per-cycle switching-energy profile flattens and its
+// average drops. Prints the profile folded onto one computation period for
+// the HAL benchmark under each style.
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "power/trace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+void profile(const suite::Benchmark& b, core::DesignStyle style, int clocks) {
+  core::SynthesisOptions opts;
+  opts.style = style;
+  opts.num_clocks = clocks;
+  const auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+
+  const auto tech = power::TechLibrary::cmos08();
+  power::PowerTrace trace(*syn.design, tech);
+  sim::Simulator simulator(*syn.design);
+  simulator.set_observer(
+      [&](std::uint64_t step, const std::vector<std::uint64_t>& nets) {
+        trace.record(step, nets);
+      });
+  Rng rng(61);
+  const auto stream =
+      sim::uniform_stream(rng, b.graph->inputs().size(), 400, b.graph->width());
+  simulator.run(stream, b.graph->inputs(), b.graph->outputs());
+
+  std::printf("%s (datapath+control switching only):\n",
+              syn.design->style_name.c_str());
+  std::printf("%s", trace.render_period_profile().c_str());
+  std::printf("mean %.0f fJ/cycle, peak %.0f fJ, crest %.2f\n\n",
+              trace.mean_fj(), trace.peak_fj(), trace.crest());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== per-cycle switching-energy profile (HAL benchmark) ===\n\n");
+  const auto b = suite::hal(4);
+  profile(b, core::DesignStyle::ConventionalGated, 1);
+  profile(b, core::DesignStyle::MultiClock, 2);
+  profile(b, core::DesignStyle::MultiClock, 3);
+  std::printf("each master cycle only one partition's DPM switches, so the "
+              "multi-clock profiles spread work across the period\n"
+              "instead of surging every cycle.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The paper's §5.2 observation that the *schedule* shapes multi-clock
+// quality ("The 3 clock scheme suits the particular schedule better than
+// the 2 clock scheme because of ALU utilization"): compare the plain list
+// schedule against the partition-balanced scheduler that spreads each
+// operation class across the step residues mod n before allocation.
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+#include "table_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+bench::Row run_with_schedule(const dfg::Graph& g, const dfg::Schedule& s,
+                             int clocks) {
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::MultiClock;
+  opts.num_clocks = clocks;
+  const auto syn = core::synthesize(g, s, opts);
+  Rng rng(71);
+  const auto stream =
+      sim::uniform_stream(rng, g.inputs().size(), 2000, g.width());
+  sim::Simulator simulator(syn.design.operator*());
+  const auto res = simulator.run(stream, g.inputs(), g.outputs());
+  const auto tech = power::TechLibrary::cmos08();
+  bench::Row row;
+  row.label = syn.design->style_name;
+  row.breakdown = power::estimate_power(*syn.design, res.activity, tech);
+  row.power_mw = row.breakdown.total;
+  row.area_lambda2 = power::estimate_area(*syn.design, tech).total;
+  row.alus = syn.design->stats.alu_summary;
+  row.mem_cells = syn.design->stats.num_memory_cells;
+  row.mux_inputs = syn.design->stats.num_mux_inputs;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== schedule impact on the multi-clock scheme (Sec. 5.2) ===\n\n");
+  TextTable t({"benchmark", "n", "list P[mW]", "balanced P[mW]", "list ALUs",
+               "balanced ALUs"});
+  for (const char* name : {"facet", "hal", "biquad", "bandpass", "fir8"}) {
+    for (int n : {2, 3}) {
+      const auto b = suite::by_name(name, 4);
+      dfg::ResourceLimits limits;
+      limits.default_limit = 2;
+      limits.per_op[dfg::Op::Mul] = name == std::string("bandpass") ? 1 : 2;
+      const auto balanced =
+          dfg::schedule_partition_balanced(*b.graph, limits, n);
+      const auto rl = run_with_schedule(*b.graph, *b.schedule, n);
+      const auto rb = run_with_schedule(*b.graph, balanced, n);
+      t.add_row({name, std::to_string(n), format_fixed(rl.power_mw, 2),
+                 format_fixed(rb.power_mw, 2), rl.alus, rb.alus});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nbalancing each op class across the residues mod n lets each "
+              "partition reuse one unit over its local steps, at the\n"
+              "cost of a possibly longer schedule (throughput is preserved "
+              "by the effective-frequency argument either way).\n");
+  return 0;
+}

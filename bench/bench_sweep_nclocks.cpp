@@ -1,0 +1,93 @@
+// E10: the headline-claim sweep — power and area vs number of clocks, with
+// the ablations DESIGN.md calls out:
+//
+//  * n = 1..6 clock sweep (paper Sec. 5.2: "you can not keep adding clocks
+//    and expect power reduction ... diminishing returns");
+//  * latches vs D-flip-flops in the multi-clock partitions (Sec. 2.2);
+//  * latched vs direct control lines (Sec. 3.2).
+#include <cstdio>
+
+#include "core/synthesizer.hpp"
+#include "suite/benchmarks.hpp"
+#include "table_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mcrtl;
+
+int main() {
+  std::printf("=== E10: n-clock sweep and design-choice ablations ===\n\n");
+
+  std::printf("power [mW] vs number of clocks (integrated allocation, "
+              "latches, latched control):\n\n");
+  {
+    TextTable t({"benchmark", "gated", "n=1", "n=2", "n=3", "n=4", "n=5",
+                 "n=6", "best"});
+    for (const char* name : {"facet", "hal", "biquad", "bandpass", "ewf",
+                             "ar_lattice", "fir8"}) {
+      const auto b = suite::by_name(name, 4);
+      core::SynthesisOptions opts;
+      opts.style = core::DesignStyle::ConventionalGated;
+      const auto gated = bench::run_style(b, opts, 1500, 11);
+      std::vector<std::string> row{name, format_fixed(gated.power_mw, 2)};
+      double best = 1e18;
+      int best_n = 0;
+      for (int n = 1; n <= 6; ++n) {
+        opts.style = core::DesignStyle::MultiClock;
+        opts.num_clocks = n;
+        const auto r = bench::run_style(b, opts, 1500, 11);
+        row.push_back(format_fixed(r.power_mw, 2));
+        if (r.power_mw < best) {
+          best = r.power_mw;
+          best_n = n;
+        }
+      }
+      row.push_back("n=" + std::to_string(best_n));
+      t.add_row(row);
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::printf("\narea [1e6 lambda^2] vs number of clocks:\n\n");
+  {
+    TextTable t({"benchmark", "n=1", "n=2", "n=3", "n=4", "n=5", "n=6"});
+    for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+      const auto b = suite::by_name(name, 4);
+      std::vector<std::string> row{name};
+      for (int n = 1; n <= 6; ++n) {
+        core::SynthesisOptions opts;
+        opts.style = core::DesignStyle::MultiClock;
+        opts.num_clocks = n;
+        const auto r = bench::run_style(b, opts, 400, 11);
+        row.push_back(format_fixed(r.area_lambda2 / 1e6, 2));
+      }
+      t.add_row(row);
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::printf("\nablation: latches vs D-flip-flops in the partitions (n=3):\n\n");
+  {
+    TextTable t({"benchmark", "latch P[mW]", "DFF P[mW]", "latch area",
+                 "DFF area"});
+    for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+      const auto b = suite::by_name(name, 4);
+      core::SynthesisOptions opts;
+      opts.style = core::DesignStyle::MultiClock;
+      opts.num_clocks = 3;
+      opts.use_latches = true;
+      const auto lat = bench::run_style(b, opts, 1500, 13);
+      opts.use_latches = false;
+      const auto dff = bench::run_style(b, opts, 1500, 13);
+      t.add_row({name, format_fixed(lat.power_mw, 2),
+                 format_fixed(dff.power_mw, 2),
+                 format_fixed(lat.area_lambda2 / 1e6, 2),
+                 format_fixed(dff.area_lambda2 / 1e6, 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n(the latch advantage of Sec. 2.2: cheaper clock pin and "
+                "cell; only possible because the multi-clock partitions\n"
+                "have no overlapping READ/WRITE)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 1: "Multiple Clocks with Latches for the FACET".
+#include "table_common.hpp"
+
+int main() {
+  using namespace mcrtl::bench;
+  TableConfig cfg;
+  cfg.benchmark = "facet";
+  cfg.title = "Table 1: Multiple Clocks with Latches for the FACET";
+  cfg.paper = {{9.85, 2680425}, {6.92, 2383553}, {7.39, 2668365},
+               {6.41, 2552425}, {3.52, 2484873}};
+  print_table(cfg, run_table(cfg));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 2: "Multiple Clocks with Latches for the HAL".
+#include "table_common.hpp"
+
+int main() {
+  using namespace mcrtl::bench;
+  TableConfig cfg;
+  cfg.benchmark = "hal";
+  cfg.title = "Table 2: Multiple Clocks with Latches for the HAL";
+  cfg.paper = {{12.48, 3080133}, {8.12, 2819025}, {5.61, 2627484},
+               {4.98, 2901501}, {3.73, 2954465}};
+  print_table(cfg, run_table(cfg));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 3: "Multiple Clocks with Latches for the Biquad Filter".
+#include "table_common.hpp"
+
+int main() {
+  using namespace mcrtl::bench;
+  TableConfig cfg;
+  cfg.benchmark = "biquad";
+  cfg.title = "Table 3: Multiple Clocks with Latches for the Biquad Filter";
+  cfg.paper = {{18.65, 5118795}, {11.49, 4826283}, {11.31, 5126718},
+               {9.24, 5194451}, {7.19, 5327823}};
+  print_table(cfg, run_table(cfg));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 4: "Multiple Clocks with Latches for the Band Pass
+// Filter".
+#include "table_common.hpp"
+
+int main() {
+  using namespace mcrtl::bench;
+  TableConfig cfg;
+  cfg.benchmark = "bandpass";
+  cfg.title = "Table 4: Multiple Clocks with Latches for the Band Pass Filter";
+  cfg.paper = {{18.01, 5588975}, {8.87, 4181238}, {7.39, 3049956},
+               {6.15, 3729654}, {5.78, 4728731}};
+  print_table(cfg, run_table(cfg));
+  return 0;
+}

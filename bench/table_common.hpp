@@ -1,0 +1,55 @@
+// Shared harness for the Tables 1-4 reproducers: run the paper's five
+// design styles on one benchmark, measure power/area, and print the table
+// in the paper's format together with the paper's reported values.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "power/estimator.hpp"
+#include "suite/benchmarks.hpp"
+
+namespace mcrtl::bench {
+
+/// One measured table row.
+struct Row {
+  std::string label;
+  double power_mw = 0.0;
+  double area_lambda2 = 0.0;
+  std::string alus;
+  int mem_cells = 0;
+  int mux_inputs = 0;
+  power::PowerBreakdown breakdown;
+};
+
+/// The paper's reported numbers for comparison (power mW, area λ²).
+struct PaperRow {
+  double power_mw;
+  double area_lambda2;
+};
+
+struct TableConfig {
+  std::string benchmark;
+  unsigned width = 4;
+  std::size_t computations = 2000;
+  std::uint64_t seed = 1996;
+  /// Paper values in row order {non-gated, gated, 1clk, 2clk, 3clk};
+  /// empty = no reference printed.
+  std::vector<PaperRow> paper;
+  std::string title;
+};
+
+/// Run the five styles of the paper's tables; returns rows in paper order.
+std::vector<Row> run_table(const TableConfig& cfg);
+
+/// Render rows (and the paper reference, if provided) to stdout and return
+/// the text. Also prints the headline reduction (n-clock best vs gated).
+std::string print_table(const TableConfig& cfg, const std::vector<Row>& rows);
+
+/// Run a single custom style on a benchmark (used by ablation benches).
+Row run_style(const suite::Benchmark& b, const core::SynthesisOptions& opts,
+              std::size_t computations, std::uint64_t seed);
+
+}  // namespace mcrtl::bench

@@ -1,0 +1,116 @@
+#include "alloc/activity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dfg/interpreter.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::alloc {
+
+using dfg::ValueId;
+
+ActivityProfile ActivityProfile::measure(const dfg::Graph& graph,
+                                         std::size_t samples, Rng& rng) {
+  MCRTL_CHECK(samples > 0);
+  ActivityProfile p;
+  p.width_ = graph.width();
+  p.ones_.assign(graph.num_values(), std::vector<std::uint64_t>(p.width_, 0));
+  p.samples_ = samples;
+
+  dfg::Interpreter interp(graph);
+  const auto inputs = graph.inputs();
+  for (std::size_t s = 0; s < samples; ++s) {
+    dfg::InputVector in;
+    in.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      in.push_back(rng.next_bits(p.width_));
+    }
+    const auto r = interp.run(in);
+    for (std::size_t v = 0; v < r.values.size(); ++v) {
+      for (unsigned b = 0; b < p.width_; ++b) {
+        p.ones_[v][b] += (r.values[v] >> b) & 1;
+      }
+    }
+  }
+  return p;
+}
+
+double ActivityProfile::bit_probability(ValueId v, unsigned bit) const {
+  MCRTL_CHECK(v.valid() && v.index() < ones_.size() && bit < width_);
+  return static_cast<double>(ones_[v.index()][bit]) /
+         static_cast<double>(samples_);
+}
+
+double ActivityProfile::expected_hamming(ValueId a, ValueId b) const {
+  double e = 0.0;
+  for (unsigned bit = 0; bit < width_; ++bit) {
+    const double pa = bit_probability(a, bit);
+    const double pb = bit_probability(b, bit);
+    e += pa * (1.0 - pb) + pb * (1.0 - pa);
+  }
+  return e;
+}
+
+void allocate_storage_activity_aware(Binding& binding,
+                                     const ActivityProfile& profile,
+                                     const ActivityBindingOptions& opts) {
+  MCRTL_CHECK_MSG(binding.storage().empty(), "binding already has storage");
+  const LifetimeAnalysis& lts = binding.lifetimes();
+
+  std::vector<ValueId> values;
+  for (const auto& lt : lts.all()) {
+    if (lt.needs_storage) values.push_back(lt.value);
+  }
+  std::sort(values.begin(), values.end(), [&](ValueId a, ValueId b) {
+    const Lifetime& la = lts.of(a);
+    const Lifetime& lb = lts.of(b);
+    if (la.birth != lb.birth) return la.birth < lb.birth;
+    if (la.last_read != lb.last_read) return la.last_read > lb.last_read;
+    return a < b;
+  });
+
+  struct UnitState {
+    int right_edge = -1;
+    ValueId last_tenant;
+  };
+  std::vector<UnitState> state;
+
+  auto fits = [&](const UnitState& u, const Lifetime& lt) {
+    return opts.kind == StorageKind::Latch ? lt.birth > u.right_edge
+                                           : lt.birth >= u.right_edge;
+  };
+
+  for (ValueId v : values) {
+    const Lifetime& lt = lts.of(v);
+    const int part = opts.partition_constrained ? binding.partition_of_value(v) : 1;
+
+    // Best-fit by expected write toggles instead of left-edge's first-fit.
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const auto& su : binding.storage()) {
+      if (opts.partition_constrained && su.partition != part) continue;
+      const UnitState& u = state[su.index];
+      if (!fits(u, lt)) continue;
+      const double cost =
+          u.last_tenant.valid() ? profile.expected_hamming(u.last_tenant, v) : 0.0;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(su.index);
+      }
+    }
+    const bool open_new =
+        best < 0 ||
+        (opts.allow_extra && best_cost > opts.new_unit_threshold_bits);
+    if (open_new) {
+      best = static_cast<int>(binding.add_storage(opts.kind, part));
+      state.resize(binding.storage().size());
+    }
+    binding.assign_value(v, static_cast<unsigned>(best));
+    state[static_cast<unsigned>(best)].right_edge =
+        std::max(state[static_cast<unsigned>(best)].right_edge, lt.last_read);
+    state[static_cast<unsigned>(best)].last_tenant = v;
+  }
+}
+
+}  // namespace mcrtl::alloc

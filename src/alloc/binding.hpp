@@ -1,0 +1,166 @@
+// Datapath binding: the output of allocation.
+//
+// A Binding maps every stored value to a storage unit (register or latch),
+// every operation node to a functional unit (ALU), and every operand of
+// every node to a routed source (a storage unit, a hardwired constant, or a
+// primary-input port). From the routing it derives the interconnect: one
+// mux per ALU port or storage input that has more than one distinct source.
+//
+// The summary statistics — ALU function sets, memory cell count, total mux
+// input count — are exactly the columns of the paper's Tables 1–4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/lifetime.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/schedule.hpp"
+#include "util/ids.hpp"
+
+namespace mcrtl::alloc {
+
+/// Kind of memory element backing a storage unit (paper §2.2: the
+/// multi-clock scheme can use level-sensitive latches; conventional designs
+/// need edge-triggered D-flip-flops).
+enum class StorageKind : std::uint8_t { Register, Latch };
+
+/// One memory element holding one or more merged values.
+struct StorageUnit {
+  unsigned index = 0;
+  StorageKind kind = StorageKind::Register;
+  /// Clock partition 1..n owning this unit (1 for single-clock designs).
+  int partition = 1;
+  /// Values merged into this unit (left-edge result).
+  std::vector<dfg::ValueId> values;
+  std::string name;
+};
+
+/// One ALU with a (possibly multifunction) function set.
+struct FuncUnit {
+  unsigned index = 0;
+  int partition = 1;
+  /// Function set, in first-use order; the position of an op in this list is
+  /// its function-select code.
+  std::vector<dfg::Op> funcs;
+  /// Operation nodes bound to this unit.
+  std::vector<dfg::NodeId> ops;
+  std::string name;
+
+  bool supports(dfg::Op op) const;
+  /// Function-select code for `op` (must be supported).
+  int func_code(dfg::Op op) const;
+  /// Paper-style description, e.g. "(+-)".
+  std::string func_string() const;
+};
+
+/// Where one ALU operand (or one storage unit's data input) comes from.
+struct Source {
+  enum class Kind : std::uint8_t {
+    None,      ///< unconnected (unary ALU second port)
+    Storage,   ///< output of storage unit `index`
+    Constant,  ///< hardwired literal value of dfg value `value`
+    InputPort, ///< primary-input port of dfg value `value`
+    FuncUnit,  ///< output of ALU `index` (storage data inputs only)
+  };
+  Kind kind = Kind::None;
+  unsigned index = 0;     ///< storage / func unit index
+  dfg::ValueId value;     ///< constant or input value identity
+
+  friend bool operator==(const Source&, const Source&) = default;
+  friend auto operator<=>(const Source&, const Source&) = default;
+};
+
+/// Complete binding of a scheduled DFG onto datapath resources.
+class Binding {
+ public:
+  Binding(const dfg::Schedule& sched, const LifetimeAnalysis& lifetimes,
+          int num_clocks);
+
+  // ---- construction (used by the allocators) ------------------------------
+  unsigned add_storage(StorageKind kind, int partition);
+  void assign_value(dfg::ValueId v, unsigned storage_index);
+  unsigned add_func_unit(int partition);
+  void assign_op(dfg::NodeId n, unsigned fu_index);
+  /// Implement a Pass node as a direct register-to-register forward (paper
+  /// §4.2: "forwarding a register to another register controlled by the
+  /// second clock") instead of occupying an ALU.
+  void mark_transfer(dfg::NodeId n);
+
+  /// Computes operand routing (with commutative-operand swapping to shrink
+  /// muxes) and storage-input routing. Must be called after all assignments;
+  /// validates the binding.
+  void finalize();
+
+  // ---- accessors ----------------------------------------------------------
+  const dfg::Schedule& schedule() const { return *sched_; }
+  const dfg::Graph& graph() const { return sched_->graph(); }
+  const LifetimeAnalysis& lifetimes() const { return *lifetimes_; }
+  int num_clocks() const { return num_clocks_; }
+
+  const std::vector<StorageUnit>& storage() const { return storage_; }
+  const std::vector<FuncUnit>& func_units() const { return fus_; }
+
+  /// Storage index of a value; -1 for constants (hardwired).
+  int storage_of(dfg::ValueId v) const;
+  /// Functional unit index of a node (must not be a transfer).
+  unsigned fu_of(dfg::NodeId n) const;
+  /// True if node `n` is a register-to-register transfer.
+  bool is_transfer(dfg::NodeId n) const;
+  /// Routed source of operand `port` (0/1) of node `n`, after any
+  /// commutative swap.
+  const Source& operand_source(dfg::NodeId n, unsigned port) const;
+  /// True if the node's operands were swapped relative to the DFG.
+  bool operands_swapped(dfg::NodeId n) const;
+
+  /// Distinct sources feeding port `port` of functional unit `fu` (the mux
+  /// input list; a single entry means a direct wire).
+  const std::vector<Source>& fu_port_sources(unsigned fu, unsigned port) const;
+  /// Distinct sources feeding the data input of storage unit `s`.
+  const std::vector<Source>& storage_sources(unsigned s) const;
+
+  /// The clock partition of step `t` under this binding's clock count, using
+  /// the paper's rule k = t mod n with k == 0 meaning partition n.
+  int partition_of_step(int t) const;
+  /// Partition of a value = partition of the step it is written in
+  /// (primary inputs are written at "step 0", i.e. partition n).
+  int partition_of_value(dfg::ValueId v) const;
+
+  // ---- table statistics (paper Tables 1–4 columns) ------------------------
+  int num_memory_cells() const { return static_cast<int>(storage_.size()); }
+  /// Total mux inputs over all muxes with >= 2 sources.
+  int num_mux_inputs() const;
+  /// Number of muxes (>= 2-input only).
+  int num_muxes() const;
+  /// Paper-style ALU summary, e.g. "2(+), 1(/), 1(-), 1(*&)".
+  std::string alu_summary() const;
+
+  /// Structural validation: every stored value assigned exactly once, every
+  /// node bound, lifetimes compatible within storage units, partition
+  /// constraints respected, FU never double-booked in a step.
+  void validate() const;
+
+ private:
+  void route_operands();
+  void route_storage_inputs();
+
+  const dfg::Schedule* sched_;
+  const LifetimeAnalysis* lifetimes_;
+  int num_clocks_;
+
+  std::vector<StorageUnit> storage_;
+  std::vector<FuncUnit> fus_;
+  std::vector<int> value_to_storage_;             // by ValueId; -1 = none
+  std::vector<int> node_to_fu_;                   // by NodeId; -1 = unbound
+  std::vector<bool> transfer_;                    // by NodeId
+  std::vector<std::array<Source, 2>> routes_;     // by NodeId
+  std::vector<bool> swapped_;                     // by NodeId
+  std::vector<std::array<std::vector<Source>, 2>> fu_port_sources_;
+  std::vector<std::vector<Source>> storage_sources_;
+  bool finalized_ = false;
+};
+
+}  // namespace mcrtl::alloc

@@ -1,0 +1,23 @@
+#include "alloc/conventional.hpp"
+
+namespace mcrtl::alloc {
+
+Binding allocate_conventional(const dfg::Schedule& sched,
+                              const LifetimeAnalysis& lifetimes,
+                              const ConventionalOptions& opts) {
+  Binding b(sched, lifetimes, /*num_clocks=*/1);
+
+  LeftEdgeOptions le;
+  le.kind = opts.storage_kind;
+  le.partition_constrained = false;
+  allocate_storage_left_edge(b, le);
+
+  FuBindingOptions fu = opts.fu;
+  fu.partition_constrained = false;
+  allocate_func_units_greedy(b, fu);
+
+  b.finalize();
+  return b;
+}
+
+}  // namespace mcrtl::alloc

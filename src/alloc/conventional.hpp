@@ -1,0 +1,31 @@
+// Conventional single-clock datapath allocation — the baseline of the
+// paper's Tables 1–4 ("Conven. Alloc.", generated there by SYNTEST [15]).
+//
+// Classic flow: lifetime analysis -> left-edge register merging -> greedy
+// ALU merging -> mux synthesis. Produces a Binding with one clock partition
+// and D-flip-flop storage (a latch variant is available for the "1 Clock"
+// row of the tables, which uses the paper's conflict-free latch allocation
+// without clock partitioning).
+#pragma once
+
+#include "alloc/binding.hpp"
+#include "alloc/fu_binding.hpp"
+#include "alloc/left_edge.hpp"
+
+namespace mcrtl::alloc {
+
+/// Options for the conventional allocator.
+struct ConventionalOptions {
+  /// Memory element style. Latch storage additionally constrains merging to
+  /// strictly disjoint lifetimes (no same-step READ/WRITE).
+  StorageKind storage_kind = StorageKind::Register;
+  FuBindingOptions fu;
+};
+
+/// Allocate a scheduled DFG onto a single-clock datapath.
+/// `lifetimes` must be the analysis of `sched`.
+Binding allocate_conventional(const dfg::Schedule& sched,
+                              const LifetimeAnalysis& lifetimes,
+                              const ConventionalOptions& opts = {});
+
+}  // namespace mcrtl::alloc

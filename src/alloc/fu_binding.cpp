@@ -1,0 +1,70 @@
+#include "alloc/fu_binding.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mcrtl::alloc {
+
+using dfg::NodeId;
+using dfg::Op;
+
+void allocate_func_units_greedy(Binding& binding, const FuBindingOptions& opts) {
+  MCRTL_CHECK_MSG(binding.func_units().empty(), "binding already has func units");
+  const dfg::Schedule& sched = binding.schedule();
+  const dfg::Graph& g = binding.graph();
+
+  // Visit operations step by step (deterministic), heavier function classes
+  // first within a step so multipliers/dividers anchor their own units.
+  std::vector<NodeId> order;
+  for (const auto& n : g.nodes()) {
+    if (!binding.is_transfer(n.id)) order.push_back(n.id);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const int sa = sched.step(a), sb = sched.step(b);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  // busy[fu] = set of steps already taken.
+  std::vector<std::set<int>> busy;
+
+  for (NodeId nid : order) {
+    const Op op = g.node(nid).op;
+    const int t = sched.step(nid);
+    const int part =
+        opts.partition_constrained ? binding.partition_of_step(t) : 1;
+
+    // Candidate scoring: 0 = has the function already; function_add_cost =
+    // must grow its function set; 1 = open a new ALU.
+    int best_fu = -1;
+    double best_cost = 1.0;  // cost of a fresh ALU
+    for (const auto& fu : binding.func_units()) {
+      if (opts.partition_constrained && fu.partition != part) continue;
+      if (busy[fu.index].count(t)) continue;
+      double cost;
+      if (fu.supports(op)) {
+        cost = 0.0;
+      } else if (fu.funcs.size() < opts.max_functions) {
+        cost = opts.function_add_cost;
+      } else {
+        continue;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_fu = static_cast<int>(fu.index);
+        if (cost == 0.0) break;  // cannot do better
+      }
+    }
+    if (best_fu < 0) {
+      best_fu = static_cast<int>(binding.add_func_unit(part));
+      busy.emplace_back();
+    }
+    binding.assign_op(nid, static_cast<unsigned>(best_fu));
+    busy[static_cast<unsigned>(best_fu)].insert(t);
+  }
+}
+
+}  // namespace mcrtl::alloc

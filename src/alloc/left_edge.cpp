@@ -1,0 +1,62 @@
+#include "alloc/left_edge.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcrtl::alloc {
+
+using dfg::ValueId;
+
+void allocate_storage_left_edge(Binding& binding, const LeftEdgeOptions& opts) {
+  MCRTL_CHECK_MSG(binding.storage().empty(), "binding already has storage");
+  const LifetimeAnalysis& lts = binding.lifetimes();
+
+  // Collect allocatable values sorted by left edge (birth), ties broken by
+  // longer interval first (classic left-edge packs long intervals early),
+  // then by id for determinism.
+  std::vector<ValueId> values;
+  for (const auto& lt : lts.all()) {
+    if (lt.needs_storage) values.push_back(lt.value);
+  }
+  std::sort(values.begin(), values.end(), [&](ValueId a, ValueId b) {
+    const Lifetime& la = lts.of(a);
+    const Lifetime& lb = lts.of(b);
+    if (la.birth != lb.birth) return la.birth < lb.birth;
+    if (la.last_read != lb.last_read) return la.last_read > lb.last_read;
+    return a < b;
+  });
+
+  // Track the furthest "right edge" packed into each unit; compatibility
+  // with all of a unit's contents reduces to comparing against that edge
+  // because values are visited in birth order.
+  std::vector<int> right_edge;
+
+  auto fits = [&](unsigned unit, const Lifetime& lt) {
+    const int edge = right_edge[unit];
+    return opts.kind == StorageKind::Latch ? lt.birth > edge : lt.birth >= edge;
+  };
+
+  for (ValueId v : values) {
+    const Lifetime& lt = lts.of(v);
+    const int part = opts.partition_constrained ? binding.partition_of_value(v) : 1;
+    int chosen = -1;
+    for (const auto& su : binding.storage()) {
+      if (opts.partition_constrained && su.partition != part) continue;
+      if (fits(su.index, lt)) {
+        chosen = static_cast<int>(su.index);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(binding.add_storage(opts.kind, part));
+      right_edge.resize(binding.storage().size(), 0);
+      right_edge[static_cast<unsigned>(chosen)] = -1;  // empty unit accepts anything
+    }
+    binding.assign_value(v, static_cast<unsigned>(chosen));
+    right_edge[static_cast<unsigned>(chosen)] =
+        std::max(right_edge[static_cast<unsigned>(chosen)], lt.last_read);
+  }
+}
+
+}  // namespace mcrtl::alloc

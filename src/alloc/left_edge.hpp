@@ -1,0 +1,29 @@
+// Left-edge register/latch allocation (the algorithm named in §4.2 step 2 of
+// the paper: "Merge variables of the same partition into registers using the
+// left edge algorithm").
+//
+// Values are sorted by birth ("left edge" of their lifetime interval) and
+// packed greedily into the first storage unit whose existing contents are
+// compatible — the DFF abut-allowed rule or the strict latch rule. When the
+// binding is multi-clock, values only pack into units of their own clock
+// partition.
+#pragma once
+
+#include "alloc/binding.hpp"
+
+namespace mcrtl::alloc {
+
+/// Options for left-edge allocation.
+struct LeftEdgeOptions {
+  StorageKind kind = StorageKind::Register;
+  /// When true, values may only merge with values of the same clock
+  /// partition; storage units inherit that partition.
+  bool partition_constrained = false;
+};
+
+/// Run left-edge allocation for all storage-needing values of the binding's
+/// schedule; creates storage units in `binding` and assigns every value.
+/// Precondition: `binding` has no storage assignments yet.
+void allocate_storage_left_edge(Binding& binding, const LeftEdgeOptions& opts);
+
+}  // namespace mcrtl::alloc

@@ -1,0 +1,77 @@
+#include "alloc/lifetime.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcrtl::alloc {
+
+using dfg::ValueId;
+using dfg::ValueKind;
+
+LifetimeAnalysis::LifetimeAnalysis(const dfg::Schedule& sched) : sched_(&sched) {
+  const dfg::Graph& g = sched.graph();
+  sched.validate();
+  const int T = sched.num_steps();
+
+  lifetimes_.resize(g.num_values());
+  for (const auto& v : g.values()) {
+    Lifetime lt;
+    lt.value = v.id;
+    lt.needs_storage = (v.kind != ValueKind::Constant);
+    switch (v.kind) {
+      case ValueKind::Input:
+        lt.birth = 0;
+        break;
+      case ValueKind::Constant:
+        lt.birth = -1;
+        break;
+      case ValueKind::Internal:
+        lt.birth = sched.step(v.producer);
+        break;
+    }
+    int last = lt.birth;  // a value with no reader still occupies storage
+    for (dfg::NodeId c : v.consumers) last = std::max(last, sched.step(c));
+    if (v.is_output) {
+      // Outputs are sampled after the final step, so they stay live through
+      // the whole schedule tail.
+      last = std::max(last, T + 1);
+    } else if (last == lt.birth && lt.needs_storage) {
+      // Unread stored value: occupy storage for one step so the allocator
+      // never aliases it with a same-step write.
+      last = lt.birth + 1;
+    }
+    lt.last_read = last;
+    lifetimes_[v.id.index()] = lt;
+  }
+}
+
+const Lifetime& LifetimeAnalysis::of(ValueId v) const {
+  MCRTL_CHECK(v.valid() && v.index() < lifetimes_.size());
+  return lifetimes_[v.index()];
+}
+
+bool LifetimeAnalysis::compatible_register(const Lifetime& a, const Lifetime& b) {
+  return b.birth >= a.last_read || a.birth >= b.last_read;
+}
+
+bool LifetimeAnalysis::compatible_latch(const Lifetime& a, const Lifetime& b) {
+  return b.birth > a.last_read || a.birth > b.last_read;
+}
+
+int LifetimeAnalysis::live_at(int t) const {
+  int n = 0;
+  for (const auto& lt : lifetimes_) {
+    if (!lt.needs_storage) continue;
+    if (lt.birth <= t && t < lt.last_read) ++n;
+  }
+  return n;
+}
+
+int LifetimeAnalysis::max_live() const {
+  int best = 0;
+  for (int t = 0; t <= sched_->num_steps() + 1; ++t) best = std::max(best, live_at(t));
+  return best;
+}
+
+}  // namespace mcrtl::alloc

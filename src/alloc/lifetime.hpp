@@ -1,0 +1,58 @@
+// Variable lifetime analysis over a scheduled DFG.
+//
+// This is the analysis of the paper's Fig. 6: every variable (value) has a
+// WRITE time (the end of the step its producer executes in; step 0 for
+// primary inputs) and a last READ time (the latest step any consumer
+// executes in; primary outputs are held until after the final step). Two
+// variables can share a D-flip-flop register when their [write, last-read]
+// spans do not overlap; sharing a *latch* additionally forbids a WRITE in
+// the same step as the other variable's last READ ("completely disjoint
+// life spans", §4.2), because a transparent latch would corrupt the value
+// being read.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mcrtl::alloc {
+
+/// Lifetime of one value. Steps are the global 1-based control steps of the
+/// schedule; birth 0 means "loaded before the first step" (primary input).
+struct Lifetime {
+  dfg::ValueId value;
+  int birth = 0;      ///< step at whose end the value is written
+  int last_read = 0;  ///< latest step during which the value is read
+  bool needs_storage = false;  ///< false for constants (hardwired)
+};
+
+/// Computed lifetimes for every value of a schedule.
+class LifetimeAnalysis {
+ public:
+  explicit LifetimeAnalysis(const dfg::Schedule& sched);
+
+  const Lifetime& of(dfg::ValueId v) const;
+  const std::vector<Lifetime>& all() const { return lifetimes_; }
+  const dfg::Schedule& schedule() const { return *sched_; }
+
+  /// DFF sharing rule: spans may abut (a register written at the end of the
+  /// step of the other value's last read is safe — edge-triggered).
+  static bool compatible_register(const Lifetime& a, const Lifetime& b);
+
+  /// Latch sharing rule: spans must be strictly disjoint (no WRITE during a
+  /// step in which the other value is still being read).
+  static bool compatible_latch(const Lifetime& a, const Lifetime& b);
+
+  /// Number of values simultaneously live at the end of step t — a lower
+  /// bound on storage for any allocation.
+  int live_at(int t) const;
+  /// max over t of live_at(t).
+  int max_live() const;
+
+ private:
+  const dfg::Schedule* sched_;
+  std::vector<Lifetime> lifetimes_;  // indexed by ValueId
+};
+
+}  // namespace mcrtl::alloc

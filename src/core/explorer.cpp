@@ -1,0 +1,100 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::core {
+
+std::optional<ExplorationPoint> ExplorationResult::best_under_area(
+    double area_budget) const {
+  for (const auto& p : points) {
+    if (p.area.total <= area_budget) return p;
+  }
+  return std::nullopt;
+}
+
+const ExplorationPoint& ExplorationResult::best_power() const {
+  MCRTL_CHECK(!points.empty());
+  return points.front();
+}
+
+ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
+                          const ExplorerConfig& cfg) {
+  MCRTL_CHECK(cfg.max_clocks >= 1);
+  graph.validate();
+  sched.validate();
+
+  Rng rng(cfg.seed);
+  const auto stream = sim::uniform_stream(rng, graph.inputs().size(),
+                                          cfg.computations, graph.width());
+  const auto tech = power::TechLibrary::cmos08();
+
+  ExplorationResult result;
+  auto eval = [&](const SynthesisOptions& opts, std::string label) {
+    const auto syn = synthesize(graph, sched, opts);
+    const auto rep = sim::check_equivalence(*syn.design, graph, stream);
+    MCRTL_CHECK_MSG(rep.equivalent,
+                    "explorer produced a non-equivalent design: " << rep.detail);
+    sim::Simulator simulator(*syn.design);
+    const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
+    ExplorationPoint p;
+    p.options = opts;
+    p.label = std::move(label);
+    p.power = power::estimate_power(*syn.design, res.activity, tech,
+                                    cfg.power_params);
+    p.area = power::estimate_area(*syn.design, tech);
+    p.stats = syn.design->stats;
+    result.points.push_back(std::move(p));
+  };
+
+  if (cfg.include_conventional) {
+    SynthesisOptions opts;
+    opts.style = DesignStyle::ConventionalNonGated;
+    eval(opts, style_label(opts.style, 1));
+    opts.style = DesignStyle::ConventionalGated;
+    eval(opts, style_label(opts.style, 1));
+  }
+  for (int n = 1; n <= cfg.max_clocks; ++n) {
+    std::vector<AllocMethod> methods{AllocMethod::Integrated};
+    if (cfg.include_split && n > 1) methods.push_back(AllocMethod::Split);
+    std::vector<bool> latch_variants{true};
+    if (cfg.include_dff_variant && n > 1) latch_variants.push_back(false);
+    for (const auto method : methods) {
+      for (const bool latches : latch_variants) {
+        SynthesisOptions opts;
+        opts.style = DesignStyle::MultiClock;
+        opts.num_clocks = n;
+        opts.method = method;
+        opts.use_latches = latches;
+        eval(opts,
+             str_format("%d clk / %s / %s", n,
+                        method == AllocMethod::Split ? "split" : "integrated",
+                        latches ? "latch" : "dff"));
+      }
+    }
+  }
+
+  std::sort(result.points.begin(), result.points.end(),
+            [](const ExplorationPoint& a, const ExplorationPoint& b) {
+              if (a.power.total != b.power.total) {
+                return a.power.total < b.power.total;
+              }
+              return a.area.total < b.area.total;
+            });
+  for (auto& p : result.points) {
+    p.pareto = std::none_of(
+        result.points.begin(), result.points.end(),
+        [&](const ExplorationPoint& q) {
+          return (q.power.total < p.power.total && q.area.total <= p.area.total) ||
+                 (q.power.total <= p.power.total && q.area.total < p.area.total);
+        });
+  }
+  return result;
+}
+
+}  // namespace mcrtl::core

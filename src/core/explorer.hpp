@@ -1,0 +1,58 @@
+// Design-space exploration over the paper's knobs.
+//
+// The paper ends on "there is an obvious trade-off between the amount of
+// power reduction and the amount of area increase" with diminishing returns
+// in the clock count. The explorer automates that trade-off study: it
+// enumerates configurations (clock counts, allocation method, memory
+// element style, the conventional baselines), measures each by simulation,
+// verifies functional equivalence, marks the power/area Pareto frontier,
+// and can answer "lowest power under an area budget".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "power/estimator.hpp"
+
+namespace mcrtl::core {
+
+/// One evaluated configuration.
+struct ExplorationPoint {
+  SynthesisOptions options;
+  std::string label;
+  power::PowerBreakdown power;
+  power::AreaBreakdown area;
+  rtl::DesignStats stats;
+  bool pareto = false;  ///< on the power/area frontier
+};
+
+struct ExplorerConfig {
+  int max_clocks = 4;
+  bool include_conventional = true;
+  bool include_split = true;
+  bool include_dff_variant = false;  ///< also try multi-clock with DFFs
+  std::size_t computations = 1500;
+  std::uint64_t seed = 1;
+  power::PowerParams power_params;
+};
+
+/// Result of an exploration.
+struct ExplorationResult {
+  std::vector<ExplorationPoint> points;  ///< sorted by ascending power
+
+  /// Lowest-power point whose total area is <= `area_budget` (λ²);
+  /// nullopt if none fits.
+  std::optional<ExplorationPoint> best_under_area(double area_budget) const;
+  /// The overall lowest-power point (points are sorted; front()).
+  const ExplorationPoint& best_power() const;
+};
+
+/// Explore `graph`/`sched`. Every point is simulated with the same input
+/// stream and checked equivalent to the golden model (throws on mismatch —
+/// a broken configuration must never be reported as a design point).
+ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
+                          const ExplorerConfig& cfg = {});
+
+}  // namespace mcrtl::core

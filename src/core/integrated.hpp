@@ -1,0 +1,64 @@
+// Integrated multi-clock allocation (paper §4.2).
+//
+// The allocator enforces the invariant that transitions inside a partition
+// only originate from that partition's registers: every operation's internal
+// operands must be written in the partition *preceding* the operation's step
+// (so they are freshly stable when the operation's phase arrives and cannot
+// change during it). Operands written elsewhere are re-timed with a transfer
+// temporary — a Pass node at step t-1, implemented as a register-to-register
+// forward, exactly the paper's variable T in Fig. 6.
+//
+// Then: partition-constrained left-edge merging into latches (only values of
+// the same partition with strictly disjoint life spans share a latch),
+// partition-constrained greedy ALU merging, and mux creation.
+#pragma once
+
+#include <memory>
+
+#include "alloc/binding.hpp"
+#include "alloc/fu_binding.hpp"
+
+namespace mcrtl::core {
+
+/// Everything a multi-clock allocation produces. The transformed graph and
+/// schedule (with transfer temporaries) are owned here; the binding refers
+/// into them.
+struct SynthesisResult {
+  std::unique_ptr<dfg::Graph> graph;
+  std::unique_ptr<dfg::Schedule> schedule;
+  std::unique_ptr<alloc::LifetimeAnalysis> lifetimes;
+  std::unique_ptr<alloc::Binding> binding;
+  /// Number of transfer temporaries inserted (integrated method).
+  int transfers_inserted = 0;
+};
+
+/// How values are merged into memory elements.
+enum class StorageBinding {
+  LeftEdge,       ///< the paper's §4.2 step 2 (count-minimal)
+  ActivityAware,  ///< profile-guided toggle-minimizing extension
+};
+
+/// Options for the integrated allocator.
+struct IntegratedOptions {
+  int num_clocks = 2;
+  /// Memory element style; the multi-clock scheme is designed for latches
+  /// (paper §2.2), registers kept for the ablation of that design choice.
+  alloc::StorageKind storage_kind = alloc::StorageKind::Latch;
+  /// Insert cross-partition transfer temporaries (§4.2 step 1). Turning
+  /// this off is the ablation showing the combinational power they save.
+  bool insert_transfers = true;
+  /// Register-merging strategy (ActivityAware profiles the behaviour with
+  /// `profile_samples` random computations seeded by `profile_seed`).
+  StorageBinding storage_binding = StorageBinding::LeftEdge;
+  std::size_t profile_samples = 512;
+  std::uint64_t profile_seed = 1;
+  alloc::FuBindingOptions fu;
+};
+
+/// Run the integrated allocation on a scheduled DFG. The input graph is not
+/// modified; a transformed copy (with Pass transfer nodes) is produced.
+SynthesisResult allocate_integrated(const dfg::Graph& graph,
+                                    const dfg::Schedule& sched,
+                                    const IntegratedOptions& opts);
+
+}  // namespace mcrtl::core

@@ -1,0 +1,63 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcrtl::core {
+
+using dfg::NodeId;
+using dfg::ValueId;
+using dfg::ValueKind;
+
+int partition_of_step(int t, int num_clocks) {
+  MCRTL_CHECK(t >= 0 && num_clocks >= 1);
+  const int k = t % num_clocks;
+  return k == 0 ? num_clocks : k;
+}
+
+int local_step(int t_glb, int num_clocks) {
+  MCRTL_CHECK(t_glb >= 1 && num_clocks >= 1);
+  return (t_glb + num_clocks - 1) / num_clocks;
+}
+
+int global_step(int t_loc, int partition, int num_clocks) {
+  MCRTL_CHECK(t_loc >= 1 && partition >= 1 && partition <= num_clocks);
+  return (t_loc - 1) * num_clocks + partition;
+}
+
+PartitionedSchedule partition_schedule(const dfg::Schedule& sched, int num_clocks) {
+  MCRTL_CHECK(num_clocks >= 1);
+  sched.validate();
+  const dfg::Graph& g = sched.graph();
+
+  PartitionedSchedule ps;
+  ps.num_clocks = num_clocks;
+  ps.nodes.resize(static_cast<std::size_t>(num_clocks));
+  ps.values.resize(static_cast<std::size_t>(num_clocks));
+
+  for (const auto& n : g.nodes()) {
+    const int k = partition_of_step(sched.step(n.id), num_clocks);
+    ps.nodes[static_cast<std::size_t>(k - 1)].push_back(n.id);
+  }
+  for (auto& vec : ps.nodes) {
+    std::sort(vec.begin(), vec.end(), [&](NodeId a, NodeId b) {
+      const int sa = sched.step(a), sb = sched.step(b);
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+  }
+  for (const auto& v : g.values()) {
+    if (v.kind == ValueKind::Constant) continue;
+    const int birth = v.kind == ValueKind::Input ? 0 : sched.step(v.producer);
+    const int k = partition_of_step(birth, num_clocks);
+    ps.values[static_cast<std::size_t>(k - 1)].push_back(v.id);
+    for (NodeId c : v.consumers) {
+      const int ck = partition_of_step(sched.step(c), num_clocks);
+      if (ck != k) ps.cut_edges.emplace_back(v.id, c);
+    }
+  }
+  return ps;
+}
+
+}  // namespace mcrtl::core

@@ -1,0 +1,43 @@
+// Clock partitioning of a scheduled DFG (paper §4.1).
+//
+// With n non-overlapping clocks, the node scheduled in global step t belongs
+// to partition k = t mod n, where k == 0 means partition n. Global steps map
+// to per-partition local steps t_loc = ceil(t_glb / n), and back via
+// t_glb = (t_loc - 1) * n + k.
+#pragma once
+
+#include <vector>
+
+#include "dfg/schedule.hpp"
+
+namespace mcrtl::core {
+
+/// Partition (1..n) of global step t (t >= 0; step 0, the input-load
+/// boundary, belongs to partition n).
+int partition_of_step(int t, int num_clocks);
+
+/// Local step of global step t within its partition (1-based).
+int local_step(int t_glb, int num_clocks);
+
+/// Inverse mapping: global step of (local step, partition).
+int global_step(int t_loc, int partition, int num_clocks);
+
+/// Per-partition view of a schedule: the node sets of each partition.
+struct PartitionedSchedule {
+  int num_clocks = 1;
+  /// nodes[k-1] = nodes of partition k, ordered by (global step, node id).
+  std::vector<std::vector<dfg::NodeId>> nodes;
+  /// Values whose producing step lies in each partition (primary inputs are
+  /// written at step 0, i.e. partition n).
+  std::vector<std::vector<dfg::ValueId>> values;
+  /// Cross-partition data edges: (producer value, consumer node) pairs where
+  /// the value's partition differs from the consumer's. These are the edges
+  /// the split method turns into pseudo primary I/O and the integrated
+  /// method re-times with transfer temporaries.
+  std::vector<std::pair<dfg::ValueId, dfg::NodeId>> cut_edges;
+};
+
+/// Partition `sched` into `num_clocks` clock classes.
+PartitionedSchedule partition_schedule(const dfg::Schedule& sched, int num_clocks);
+
+}  // namespace mcrtl::core

@@ -1,0 +1,172 @@
+#include "core/split.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/partition.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::core {
+
+using alloc::Binding;
+using alloc::Lifetime;
+using alloc::LifetimeAnalysis;
+using alloc::StorageKind;
+using dfg::NodeId;
+using dfg::ValueId;
+using dfg::ValueKind;
+
+namespace {
+
+/// The local-step view of a lifetime inside partition k: an off-the-shelf
+/// allocator run on the sub-schedule sees these intervals as real ones.
+struct LocalLifetime {
+  ValueId value;
+  int birth_loc;
+  int last_loc;
+};
+
+/// Partition-local left-edge packing with the plain DFF (abut-allowed)
+/// rule — emulating "run an allocation method of your choice" (§4.1 step 2).
+std::vector<std::vector<ValueId>> pack_partition(
+    const std::vector<LocalLifetime>& lts) {
+  std::vector<LocalLifetime> sorted = lts;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.birth_loc != b.birth_loc) return a.birth_loc < b.birth_loc;
+    if (a.last_loc != b.last_loc) return a.last_loc > b.last_loc;
+    return a.value < b.value;
+  });
+  std::vector<std::vector<ValueId>> groups;
+  std::vector<int> edge;
+  for (const auto& lt : sorted) {
+    int chosen = -1;
+    for (std::size_t u = 0; u < groups.size(); ++u) {
+      if (lt.birth_loc >= edge[u]) {
+        chosen = static_cast<int>(u);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      groups.emplace_back();
+      edge.push_back(0);
+      chosen = static_cast<int>(groups.size()) - 1;
+    }
+    groups[static_cast<std::size_t>(chosen)].push_back(lt.value);
+    edge[static_cast<std::size_t>(chosen)] =
+        std::max(edge[static_cast<std::size_t>(chosen)], lt.last_loc);
+  }
+  return groups;
+}
+
+/// Clean-up: enforce the global latch rule inside each group by evicting
+/// conflicting values into fresh groups. Returns the number of evictions.
+int split_latch_conflicts(std::vector<std::vector<ValueId>>& groups,
+                          const LifetimeAnalysis& lts, StorageKind kind) {
+  auto compatible = [&](ValueId a, ValueId b) {
+    return kind == StorageKind::Latch
+               ? LifetimeAnalysis::compatible_latch(lts.of(a), lts.of(b))
+               : LifetimeAnalysis::compatible_register(lts.of(a), lts.of(b));
+  };
+  int evicted = 0;
+  std::vector<std::vector<ValueId>> extra;
+  for (auto& group : groups) {
+    std::vector<ValueId> keep;
+    for (ValueId v : group) {
+      const bool ok = std::all_of(keep.begin(), keep.end(),
+                                  [&](ValueId k) { return compatible(k, v); });
+      if (ok) {
+        keep.push_back(v);
+        continue;
+      }
+      ++evicted;
+      bool placed = false;
+      for (auto& g2 : extra) {
+        if (std::all_of(g2.begin(), g2.end(),
+                        [&](ValueId k) { return compatible(k, v); })) {
+          g2.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) extra.push_back({v});
+    }
+    group = std::move(keep);
+  }
+  for (auto& g2 : extra) groups.push_back(std::move(g2));
+  return evicted;
+}
+
+}  // namespace
+
+SplitResult allocate_split(const dfg::Graph& graph, const dfg::Schedule& sched,
+                           const SplitOptions& opts) {
+  MCRTL_CHECK(opts.num_clocks >= 1);
+  sched.validate();
+  const int n = opts.num_clocks;
+
+  SplitResult result;
+  SynthesisResult& r = result.synthesis;
+  r.graph = std::make_unique<dfg::Graph>(graph);
+  r.schedule = std::make_unique<dfg::Schedule>(*r.graph);
+  for (const auto& node : graph.nodes()) {
+    r.schedule->set_step(node.id, sched.step(node.id));
+  }
+  r.lifetimes = std::make_unique<LifetimeAnalysis>(*r.schedule);
+  r.binding = std::make_unique<Binding>(*r.schedule, *r.lifetimes, n);
+
+  const PartitionedSchedule ps = partition_schedule(*r.schedule, n);
+
+  // ---- clean-up statistics -------------------------------------------------
+  // Every distinct (cut value, consuming partition) pair is a register the
+  // naive per-partition flow duplicates and the merge removes.
+  {
+    std::set<std::pair<ValueId, int>> dup;
+    for (const auto& [v, consumer] : ps.cut_edges) {
+      dup.emplace(v, partition_of_step(r.schedule->step(consumer), n));
+    }
+    result.cleanup.pseudo_input_registers_removed = static_cast<int>(dup.size());
+  }
+  {
+    for (ValueId v : graph.inputs()) {
+      std::set<int> parts;
+      for (NodeId c : graph.value(v).consumers) {
+        parts.insert(partition_of_step(sched.step(c), n));
+      }
+      if (parts.size() > 1) ++result.cleanup.shared_inputs_merged;
+    }
+  }
+
+  // ---- per-partition storage allocation + conflict clean-up ---------------
+  for (int k = 1; k <= n; ++k) {
+    std::vector<LocalLifetime> local;
+    for (ValueId v : ps.values[static_cast<std::size_t>(k - 1)]) {
+      const Lifetime& lt = r.lifetimes->of(v);
+      if (!lt.needs_storage) continue;
+      LocalLifetime ll;
+      ll.value = v;
+      // Paper §4.1: cut edges keep "their life span in the original
+      // schedule", mapped into local steps.
+      ll.birth_loc = lt.birth == 0 ? 0 : local_step(lt.birth, n);
+      ll.last_loc = local_step(lt.last_read, n);
+      local.push_back(ll);
+    }
+    auto groups = pack_partition(local);
+    result.cleanup.latch_conflicts_split +=
+        split_latch_conflicts(groups, *r.lifetimes, opts.storage_kind);
+    for (const auto& group : groups) {
+      if (group.empty()) continue;
+      const unsigned su = r.binding->add_storage(opts.storage_kind, k);
+      for (ValueId v : group) r.binding->assign_value(v, su);
+    }
+  }
+
+  // ---- per-partition functional units --------------------------------------
+  alloc::FuBindingOptions fu = opts.fu;
+  fu.partition_constrained = n > 1;
+  allocate_func_units_greedy(*r.binding, fu);
+
+  r.binding->finalize();
+  return result;
+}
+
+}  // namespace mcrtl::core

@@ -1,0 +1,46 @@
+// Split allocation (paper §4.1): partition the schedule, run a conventional
+// allocator on each partition independently (treating cut edges as pseudo
+// primary I/O and local steps as real ones), then a clean-up phase merges
+// the partitions into one multi-clock datapath:
+//
+//  * pseudo-input registers duplicated in a consuming partition are removed
+//    and replaced by a connection to the producing partition's register;
+//  * primary inputs used by several partitions share one port/register;
+//  * values merged into one memory element by the partition-local allocator
+//    that conflict under the global latch rule (READ/WRITE in the same
+//    global step) are split into different latches.
+#pragma once
+
+#include "core/integrated.hpp"
+
+namespace mcrtl::core {
+
+/// Clean-up phase statistics (reported by the Fig. 5 bench).
+struct SplitCleanupStats {
+  /// Duplicate registers a naive partition-by-partition flow would have
+  /// created for cross-partition values, removed by the merge.
+  int pseudo_input_registers_removed = 0;
+  /// Primary inputs read by more than one partition, merged to one port.
+  int shared_inputs_merged = 0;
+  /// Values evicted into fresh latches because the partition-local (DFF
+  /// rule, local steps) packing violated the global latch rule.
+  int latch_conflicts_split = 0;
+};
+
+struct SplitOptions {
+  int num_clocks = 2;
+  alloc::StorageKind storage_kind = alloc::StorageKind::Latch;
+  alloc::FuBindingOptions fu;
+};
+
+struct SplitResult {
+  SynthesisResult synthesis;
+  SplitCleanupStats cleanup;
+};
+
+/// Run the split allocation. The graph is not transformed (no transfer
+/// temporaries); only the binding differs from the integrated method.
+SplitResult allocate_split(const dfg::Graph& graph, const dfg::Schedule& sched,
+                           const SplitOptions& opts);
+
+}  // namespace mcrtl::core

@@ -1,0 +1,102 @@
+#include "core/synthesizer.hpp"
+
+#include <algorithm>
+
+#include "alloc/conventional.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::core {
+
+std::string style_label(DesignStyle style, int num_clocks) {
+  switch (style) {
+    case DesignStyle::ConventionalNonGated:
+      return "Conven. Alloc. (Non-Gated Clock)";
+    case DesignStyle::ConventionalGated:
+      return "Conven. Alloc. (Gated Clock)";
+    case DesignStyle::MultiClock:
+      return str_format("%d Clock%s", num_clocks, num_clocks == 1 ? "" : "s");
+  }
+  return "?";
+}
+
+Synthesized synthesize(const dfg::Graph& graph, const dfg::Schedule& sched,
+                       const SynthesisOptions& opts) {
+  graph.validate();
+  sched.validate();
+
+  Synthesized out;
+  rtl::BuildOptions build;
+
+  switch (opts.style) {
+    case DesignStyle::ConventionalNonGated:
+    case DesignStyle::ConventionalGated: {
+      SynthesisResult r;
+      r.graph = std::make_unique<dfg::Graph>(graph);
+      r.schedule = std::make_unique<dfg::Schedule>(*r.graph);
+      for (const auto& node : graph.nodes()) {
+        r.schedule->set_step(node.id, sched.step(node.id));
+      }
+      r.lifetimes = std::make_unique<alloc::LifetimeAnalysis>(*r.schedule);
+      alloc::ConventionalOptions conv;
+      conv.storage_kind = alloc::StorageKind::Register;
+      conv.fu = opts.fu;
+      out.alloc = std::move(r);
+      out.alloc.binding = std::make_unique<alloc::Binding>(alloc::allocate_conventional(
+          *out.alloc.schedule, *out.alloc.lifetimes, conv));
+      build.gated_clocks = opts.style == DesignStyle::ConventionalGated;
+      build.latched_control = false;
+      break;
+    }
+    case DesignStyle::MultiClock: {
+      MCRTL_CHECK_MSG(opts.num_clocks >= 1, "MultiClock needs num_clocks >= 1");
+      const alloc::StorageKind kind = opts.use_latches
+                                          ? alloc::StorageKind::Latch
+                                          : alloc::StorageKind::Register;
+      // With partitioned ALUs the paper's allocations favour narrow function
+      // sets (Table 1's 3-clock row is all single-function units): merging an
+      // add into a multiplier ALU makes every operand transition ripple
+      // through the multiplier array. Bias the greedy binder accordingly.
+      alloc::FuBindingOptions mc_fu = opts.fu;
+      if (opts.num_clocks > 1) {
+        mc_fu.function_add_cost = std::max(mc_fu.function_add_cost, 1.25);
+      }
+      if (opts.method == AllocMethod::Integrated || opts.num_clocks == 1) {
+        IntegratedOptions io;
+        io.num_clocks = opts.num_clocks;
+        io.storage_kind = kind;
+        io.insert_transfers = opts.insert_transfers;
+        io.storage_binding = opts.storage_binding;
+        io.fu = mc_fu;
+        out.alloc = allocate_integrated(graph, sched, io);
+      } else {
+        SplitOptions so;
+        so.num_clocks = opts.num_clocks;
+        so.storage_kind = kind;
+        so.fu = mc_fu;
+        auto sr = allocate_split(graph, sched, so);
+        out.alloc = std::move(sr.synthesis);
+        out.cleanup = sr.cleanup;
+      }
+      // The paper's scheme always gates the memory-element clocking: an
+      // element only receives an edge in its own partition's duty cycle
+      // when it actually loads.
+      build.gated_clocks = true;
+      build.latched_control = opts.latched_control && opts.num_clocks > 1;
+      break;
+    }
+  }
+
+  build.style_name = style_label(opts.style, opts.num_clocks);
+  build.operand_isolation = opts.operand_isolation;
+  if (opts.operand_isolation) build.style_name += " + Isolation";
+  build.interconnect = opts.interconnect;
+  if (opts.interconnect == rtl::BuildOptions::Interconnect::TristateBus) {
+    build.style_name += " (Bus)";
+  }
+  out.design = std::make_unique<rtl::Design>(
+      rtl::build_design(*out.alloc.binding, build));
+  return out;
+}
+
+}  // namespace mcrtl::core

@@ -1,0 +1,82 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcrtl::dfg {
+
+namespace {
+const char* kPartitionColors[] = {"lightblue", "lightsalmon", "palegreen",
+                                  "plum", "khaki", "lightcyan"};
+
+void emit_values_and_edges(const Graph& g, std::ostringstream& os) {
+  for (const auto& v : g.values()) {
+    if (v.kind == ValueKind::Input) {
+      os << "  v" << v.id.value() << " [shape=invtriangle,label=\""
+         << sanitize_identifier(v.name) << "\"];\n";
+    } else if (v.kind == ValueKind::Constant) {
+      os << "  v" << v.id.value() << " [shape=plaintext,label=\"" << v.const_value
+         << "\"];\n";
+    }
+  }
+  for (const auto& n : g.nodes()) {
+    for (ValueId in : n.inputs) {
+      const Value& v = g.value(in);
+      if (v.kind == ValueKind::Internal) {
+        os << "  n" << v.producer.value() << " -> n" << n.id.value() << ";\n";
+      } else {
+        os << "  v" << in.value() << " -> n" << n.id.value() << ";\n";
+      }
+    }
+  }
+  for (ValueId out : g.outputs()) {
+    const Value& v = g.value(out);
+    os << "  o" << out.value() << " [shape=triangle,label=\""
+       << sanitize_identifier(v.name) << "\"];\n";
+    if (v.kind == ValueKind::Internal) {
+      os << "  n" << v.producer.value() << " -> o" << out.value() << ";\n";
+    } else {
+      os << "  v" << out.value() << " -> o" << out.value() << ";\n";
+    }
+  }
+}
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << sanitize_identifier(g.name()) << "\" {\n";
+  for (const auto& n : g.nodes()) {
+    os << "  n" << n.id.value() << " [shape=circle,label=\"" << op_symbol(n.op)
+       << "\"];\n";
+  }
+  emit_values_and_edges(g, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Schedule& s, int num_clocks) {
+  const Graph& g = s.graph();
+  std::ostringstream os;
+  os << "digraph \"" << sanitize_identifier(g.name()) << "_sched\" {\n";
+  for (int t = 1; t <= s.num_steps(); ++t) {
+    os << "  subgraph cluster_t" << t << " {\n    label=\"T" << t << "\";\n";
+    for (NodeId nid : s.nodes_in_step(t)) {
+      const Node& n = g.node(nid);
+      std::string color = "white";
+      if (num_clocks > 1) {
+        int part = t % num_clocks;
+        if (part == 0) part = num_clocks;  // paper: P_n holds t mod n == 0
+        color = kPartitionColors[(part - 1) % 6];
+      }
+      os << "    n" << nid.value() << " [shape=circle,style=filled,fillcolor="
+         << color << ",label=\"" << op_symbol(n.op) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  emit_values_and_edges(g, os);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mcrtl::dfg

@@ -1,0 +1,19 @@
+// Graphviz export of DFGs and schedules, for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mcrtl::dfg {
+
+/// DOT rendering of the bare graph.
+std::string to_dot(const Graph& g);
+
+/// DOT rendering with nodes ranked by control step (one cluster per step),
+/// optionally colouring by clock partition for `num_clocks` > 1 using the
+/// paper's rule k = t mod n.
+std::string to_dot(const Schedule& s, int num_clocks = 1);
+
+}  // namespace mcrtl::dfg

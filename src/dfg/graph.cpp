@@ -1,0 +1,196 @@
+#include "dfg/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::dfg {
+
+Graph::Graph(std::string name, unsigned width) : name_(std::move(name)), width_(width) {
+  MCRTL_CHECK_MSG(width_ >= 1 && width_ <= 64, "width must be in 1..64, got " << width_);
+}
+
+ValueId Graph::new_value(ValueKind kind, std::string name) {
+  Value v;
+  v.id = ValueId(static_cast<std::uint32_t>(values_.size()));
+  v.kind = kind;
+  v.name = std::move(name);
+  if (v.name.empty()) v.name = str_format("v%u", v.id.value());
+  values_.push_back(std::move(v));
+  return values_.back().id;
+}
+
+ValueId Graph::add_input(std::string name) {
+  return new_value(ValueKind::Input, std::move(name));
+}
+
+ValueId Graph::add_constant(std::int64_t v, std::string name) {
+  if (name.empty()) name = str_format("c%lld", static_cast<long long>(v));
+  const ValueId id = new_value(ValueKind::Constant, std::move(name));
+  values_[id.index()].const_value = v;
+  return id;
+}
+
+NodeId Graph::add_node(Op op, std::vector<ValueId> inputs, std::string name) {
+  MCRTL_CHECK_MSG(inputs.size() == op_arity(op),
+                  "op " << op_name(op) << " takes " << op_arity(op)
+                        << " operands, got " << inputs.size());
+  for (ValueId in : inputs) {
+    MCRTL_CHECK_MSG(in.valid() && in.index() < values_.size(),
+                    "dangling input value id in node '" << name << "'");
+  }
+  Node n;
+  n.id = NodeId(static_cast<std::uint32_t>(nodes_.size()));
+  n.op = op;
+  n.name = name.empty() ? str_format("n%u_%s", n.id.value(), op_name(op)) : std::move(name);
+  n.inputs = std::move(inputs);
+  n.output = new_value(ValueKind::Internal, n.name + "_out");
+  values_[n.output.index()].producer = n.id;
+  for (ValueId in : n.inputs) values_[in.index()].consumers.push_back(n.id);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+ValueId Graph::add_op(Op op, ValueId a, ValueId b, std::string name) {
+  return nodes_[add_node(op, {a, b}, std::move(name)).index()].output;
+}
+
+ValueId Graph::add_unary(Op op, ValueId a, std::string name) {
+  return nodes_[add_node(op, {a}, std::move(name)).index()].output;
+}
+
+void Graph::mark_output(ValueId v) {
+  MCRTL_CHECK(v.valid() && v.index() < values_.size());
+  if (!values_[v.index()].is_output) {
+    values_[v.index()].is_output = true;
+    output_order_.push_back(v);
+  }
+}
+
+void Graph::replace_operand(NodeId n, unsigned port, ValueId v) {
+  MCRTL_CHECK(n.valid() && n.index() < nodes_.size());
+  MCRTL_CHECK(v.valid() && v.index() < values_.size());
+  Node& node = nodes_[n.index()];
+  MCRTL_CHECK(port < node.inputs.size());
+  const ValueId old = node.inputs[port];
+  if (old == v) return;
+  node.inputs[port] = v;
+  // Remove ONE occurrence of n from the old value's consumers (the node may
+  // read the same value on both ports).
+  auto& old_cons = values_[old.index()].consumers;
+  auto it = std::find(old_cons.begin(), old_cons.end(), n);
+  MCRTL_CHECK(it != old_cons.end());
+  old_cons.erase(it);
+  values_[v.index()].consumers.push_back(n);
+}
+
+const Value& Graph::value(ValueId id) const {
+  MCRTL_CHECK(id.valid() && id.index() < values_.size());
+  return values_[id.index()];
+}
+
+const Node& Graph::node(NodeId id) const {
+  MCRTL_CHECK(id.valid() && id.index() < nodes_.size());
+  return nodes_[id.index()];
+}
+
+std::vector<ValueId> Graph::inputs() const {
+  std::vector<ValueId> out;
+  for (const auto& v : values_) {
+    if (v.kind == ValueKind::Input) out.push_back(v.id);
+  }
+  return out;
+}
+
+std::vector<ValueId> Graph::constants() const {
+  std::vector<ValueId> out;
+  for (const auto& v : values_) {
+    if (v.kind == ValueKind::Constant) out.push_back(v.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  // Kahn's algorithm over node->node dependences (via internal values).
+  std::vector<unsigned> pending(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (ValueId in : n.inputs) {
+      if (values_[in.index()].kind == ValueKind::Internal) ++pending[n.id.index()];
+    }
+  }
+  std::vector<NodeId> ready;
+  for (const auto& n : nodes_) {
+    if (pending[n.id.index()] == 0) ready.push_back(n.id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId nid = ready.back();
+    ready.pop_back();
+    order.push_back(nid);
+    for (NodeId consumer : values_[nodes_[nid.index()].output.index()].consumers) {
+      if (--pending[consumer.index()] == 0) ready.push_back(consumer);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw ValidationError("graph '" + name_ + "' has a data-dependence cycle");
+  }
+  return order;
+}
+
+unsigned Graph::critical_path_length() const {
+  std::vector<unsigned> depth(nodes_.size(), 1);
+  unsigned best = 0;
+  for (NodeId nid : topo_order()) {
+    const Node& n = nodes_[nid.index()];
+    unsigned d = 1;
+    for (ValueId in : n.inputs) {
+      const Value& v = values_[in.index()];
+      if (v.kind == ValueKind::Internal) {
+        d = std::max(d, depth[v.producer.index()] + 1);
+      }
+    }
+    depth[nid.index()] = d;
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+void Graph::validate() const {
+  for (const auto& v : values_) {
+    if (v.kind == ValueKind::Internal) {
+      if (!v.producer.valid() || v.producer.index() >= nodes_.size()) {
+        throw ValidationError("internal value '" + v.name + "' has no producer");
+      }
+      if (nodes_[v.producer.index()].output != v.id) {
+        throw ValidationError("producer/output mismatch for value '" + v.name + "'");
+      }
+    } else if (v.producer.valid()) {
+      throw ValidationError("non-internal value '" + v.name + "' has a producer");
+    }
+    for (NodeId c : v.consumers) {
+      if (!c.valid() || c.index() >= nodes_.size()) {
+        throw ValidationError("dangling consumer on value '" + v.name + "'");
+      }
+      const auto& ins = nodes_[c.index()].inputs;
+      if (std::find(ins.begin(), ins.end(), v.id) == ins.end()) {
+        throw ValidationError("consumer list of '" + v.name + "' names a node that does not read it");
+      }
+    }
+  }
+  for (const auto& n : nodes_) {
+    if (n.inputs.size() != op_arity(n.op)) {
+      throw ValidationError("node '" + n.name + "' arity mismatch");
+    }
+    if (!n.output.valid() || n.output.index() >= values_.size()) {
+      throw ValidationError("node '" + n.name + "' has dangling output");
+    }
+  }
+  if (outputs().empty()) {
+    throw ValidationError("graph '" + name_ + "' has no primary outputs");
+  }
+  (void)topo_order();  // throws if cyclic
+}
+
+}  // namespace mcrtl::dfg

@@ -1,0 +1,117 @@
+// Behavioural data-flow graph (DFG) intermediate representation.
+//
+// A Graph holds *values* (primary inputs, constants, and the results of
+// operations) and *nodes* (operations). Edges are implicit: a node's input
+// list names the values it reads, and each internal value records its
+// producer node and consumer nodes. Primary outputs are designated values.
+//
+// All datapath words in one graph share a single bit-width, mirroring the
+// paper's uniform "4-bit circuits" evaluation setup (the width is a
+// constructor parameter, not a constant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/op.hpp"
+#include "util/ids.hpp"
+
+namespace mcrtl::dfg {
+
+using ValueId = StrongId<struct ValueTag>;
+using NodeId = StrongId<struct NodeTag>;
+
+/// How a value comes into existence.
+enum class ValueKind : std::uint8_t {
+  Input,     ///< primary input, fresh every computation
+  Constant,  ///< compile-time literal
+  Internal,  ///< produced by a node
+};
+
+/// One datapath value (a "variable" in the paper's lifetime analysis).
+struct Value {
+  ValueId id;
+  ValueKind kind = ValueKind::Internal;
+  std::string name;
+  NodeId producer;               ///< invalid unless kind == Internal
+  std::vector<NodeId> consumers; ///< nodes reading this value
+  std::int64_t const_value = 0;  ///< meaningful iff kind == Constant
+  bool is_output = false;        ///< designated primary output
+};
+
+/// One operation node.
+struct Node {
+  NodeId id;
+  Op op = Op::Add;
+  std::string name;
+  std::vector<ValueId> inputs;  ///< arity-sized operand list
+  ValueId output;               ///< the value this node produces
+};
+
+/// The data-flow graph. Construction is append-only through the builder
+/// methods; `validate()` checks global consistency and is called by every
+/// downstream pass before it trusts the structure.
+class Graph {
+ public:
+  explicit Graph(std::string name, unsigned width = 8);
+
+  // ---- builder API --------------------------------------------------------
+  /// Add a primary input value.
+  ValueId add_input(std::string name);
+  /// Add a constant value.
+  ValueId add_constant(std::int64_t v, std::string name = "");
+  /// Add an operation node consuming `inputs`; returns the node.
+  /// The produced value is `node(id).output`.
+  NodeId add_node(Op op, std::vector<ValueId> inputs, std::string name = "");
+  /// Convenience: add a node and return its *output value*.
+  ValueId add_op(Op op, ValueId a, ValueId b, std::string name = "");
+  ValueId add_unary(Op op, ValueId a, std::string name = "");
+  /// Designate `v` as a primary output.
+  void mark_output(ValueId v);
+  /// Rewire operand `port` of node `n` to read `v` instead (keeps consumer
+  /// lists consistent). Used by the transfer-insertion pass.
+  void replace_operand(NodeId n, unsigned port, ValueId v);
+
+  // ---- accessors ----------------------------------------------------------
+  const std::string& name() const { return name_; }
+  unsigned width() const { return width_; }
+  std::size_t num_values() const { return values_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Value& value(ValueId id) const;
+  const Node& node(NodeId id) const;
+  const std::vector<Value>& values() const { return values_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Primary inputs in creation order.
+  std::vector<ValueId> inputs() const;
+  /// Primary outputs in the order they were marked (the interface order of
+  /// the behaviour; interpreters and testbenches emit results in this
+  /// order).
+  const std::vector<ValueId>& outputs() const { return output_order_; }
+  /// Constants in creation order.
+  std::vector<ValueId> constants() const;
+
+  /// Nodes in a topological order of the data dependences.
+  /// Throws ValidationError if the graph is cyclic.
+  std::vector<NodeId> topo_order() const;
+
+  /// Longest dependence chain measured in nodes (the critical path when each
+  /// node occupies one control step).
+  unsigned critical_path_length() const;
+
+  /// Full structural check: IDs in range, arities match, acyclic, every
+  /// output reachable. Throws ValidationError on the first violation.
+  void validate() const;
+
+ private:
+  ValueId new_value(ValueKind kind, std::string name);
+
+  std::string name_;
+  unsigned width_;
+  std::vector<Value> values_;
+  std::vector<Node> nodes_;
+  std::vector<ValueId> output_order_;
+};
+
+}  // namespace mcrtl::dfg

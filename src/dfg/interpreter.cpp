@@ -1,0 +1,44 @@
+#include "dfg/interpreter.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::dfg {
+
+Interpreter::Interpreter(const Graph& g) : graph_(&g), order_(g.topo_order()) {}
+
+EvalResult Interpreter::run(const InputVector& inputs) const {
+  const Graph& g = *graph_;
+  const auto ins = g.inputs();
+  MCRTL_CHECK_MSG(inputs.size() == ins.size(),
+                  "expected " << ins.size() << " inputs, got " << inputs.size());
+
+  EvalResult r;
+  r.values.assign(g.num_values(), 0);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    r.values[ins[i].index()] = truncate(inputs[i], g.width());
+  }
+  for (const auto& v : g.values()) {
+    if (v.kind == ValueKind::Constant) {
+      r.values[v.id.index()] = from_signed(v.const_value, g.width());
+    }
+  }
+  for (NodeId nid : order_) {
+    const Node& n = g.node(nid);
+    const std::uint64_t a = r.values[n.inputs[0].index()];
+    const std::uint64_t b = n.inputs.size() > 1 ? r.values[n.inputs[1].index()] : 0;
+    r.values[n.output.index()] = eval_op(n.op, a, b, g.width());
+  }
+  for (ValueId out : g.outputs()) r.outputs.push_back(r.values[out.index()]);
+  return r;
+}
+
+std::vector<EvalResult> Interpreter::run_stream(
+    const std::vector<InputVector>& stream) const {
+  std::vector<EvalResult> out;
+  out.reserve(stream.size());
+  for (const auto& in : stream) out.push_back(run(in));
+  return out;
+}
+
+}  // namespace mcrtl::dfg

@@ -1,0 +1,45 @@
+// Golden-model execution of a DFG.
+//
+// The interpreter evaluates the behaviour directly on integer words, giving
+// the reference results every synthesized datapath must match. The
+// equivalence checker in src/sim compares RTL simulation outputs against
+// this model over long random input streams.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace mcrtl::dfg {
+
+/// Input binding for one computation: one word per primary input, in the
+/// order returned by Graph::inputs().
+using InputVector = std::vector<std::uint64_t>;
+
+/// Result of one computation.
+struct EvalResult {
+  /// Every value in the graph, indexed by ValueId.
+  std::vector<std::uint64_t> values;
+  /// Primary outputs in Graph::outputs() order.
+  std::vector<std::uint64_t> outputs;
+};
+
+/// Evaluates computations of one Graph.
+class Interpreter {
+ public:
+  explicit Interpreter(const Graph& g);
+
+  /// Evaluate one full computation.
+  EvalResult run(const InputVector& inputs) const;
+
+  /// Evaluate a stream of computations; returns one EvalResult per vector.
+  std::vector<EvalResult> run_stream(const std::vector<InputVector>& stream) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> order_;  // cached topological order
+};
+
+}  // namespace mcrtl::dfg

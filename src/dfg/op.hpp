@@ -1,0 +1,67 @@
+// Operation vocabulary of the behavioural data-flow graph.
+//
+// The paper's benchmarks use the classic HLS operator set: arithmetic
+// (+, -, *, /), logic (&, |, ^), shifts and comparisons. Each ALU in the
+// synthesized datapath implements a *function set* — a subset of these ops —
+// and the technology model charges area/capacitance per supported function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcrtl::dfg {
+
+/// Behavioural operations. `Pass` is the identity move used for
+/// cross-partition transfer temporaries (paper §4.2 step 1).
+enum class Op : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  And,
+  Or,
+  Xor,
+  Not,
+  Neg,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  Min,
+  Max,
+  Pass,
+};
+
+/// Number of distinct Op enumerators (for tables indexed by Op).
+inline constexpr unsigned kNumOps = static_cast<unsigned>(Op::Pass) + 1;
+
+/// Static properties of an operation.
+struct OpInfo {
+  const char* name;     ///< identifier-style name, e.g. "add"
+  const char* symbol;   ///< paper-style symbol, e.g. "+"
+  unsigned arity;       ///< 1 or 2
+  bool commutative;     ///< operand order irrelevant
+};
+
+/// Property lookup (total over all Op values).
+const OpInfo& op_info(Op op);
+
+inline const char* op_name(Op op) { return op_info(op).name; }
+inline const char* op_symbol(Op op) { return op_info(op).symbol; }
+inline unsigned op_arity(Op op) { return op_info(op).arity; }
+inline bool op_commutative(Op op) { return op_info(op).commutative; }
+
+/// Evaluate `op` on `width`-bit words (two's complement semantics where
+/// signedness matters; division by zero yields the all-ones word, matching
+/// a combinational divider's don't-care being pinned for determinism).
+std::uint64_t eval_op(Op op, std::uint64_t a, std::uint64_t b, unsigned width);
+
+/// Parse "add"/"+" style spellings; throws mcrtl::Error on unknown text.
+Op parse_op(const std::string& text);
+
+}  // namespace mcrtl::dfg

@@ -1,0 +1,54 @@
+#include "dfg/random_graph.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::dfg {
+
+Graph random_graph(Rng& rng, const RandomGraphConfig& cfg) {
+  MCRTL_CHECK(cfg.num_inputs >= 1 && cfg.num_nodes >= 1);
+  std::vector<Op> pool = cfg.op_pool;
+  if (pool.empty()) {
+    pool = {Op::Add, Op::Sub, Op::Mul, Op::And, Op::Or,
+            Op::Xor, Op::Shl, Op::Lt,  Op::Max, Op::Div};
+  }
+
+  Graph g(str_format("rand_%u_%u", cfg.num_inputs, cfg.num_nodes), cfg.width);
+  std::vector<ValueId> avail;
+  for (unsigned i = 0; i < cfg.num_inputs; ++i) {
+    avail.push_back(g.add_input(str_format("in%u", i)));
+  }
+
+  auto pick_operand = [&]() -> ValueId {
+    if (rng.next_bool(cfg.const_prob)) {
+      return g.add_constant(rng.next_int(-8, 8));
+    }
+    return avail[rng.next_below(avail.size())];
+  };
+
+  std::vector<ValueId> produced;
+  for (unsigned i = 0; i < cfg.num_nodes; ++i) {
+    const Op op = pool[rng.next_below(pool.size())];
+    std::vector<ValueId> ins;
+    for (unsigned k = 0; k < op_arity(op); ++k) ins.push_back(pick_operand());
+    const NodeId nid = g.add_node(op, std::move(ins));
+    const ValueId out = g.node(nid).output;
+    avail.push_back(out);
+    produced.push_back(out);
+  }
+
+  // Every value with no consumer becomes a primary output, so the graph has
+  // no dead code and at least one output.
+  bool any = false;
+  for (ValueId v : produced) {
+    if (g.value(v).consumers.empty()) {
+      g.mark_output(v);
+      any = true;
+    }
+  }
+  if (!any) g.mark_output(produced.back());
+  g.validate();
+  return g;
+}
+
+}  // namespace mcrtl::dfg

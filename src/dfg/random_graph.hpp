@@ -1,0 +1,30 @@
+// Random DFG generation for property-based tests and microbenchmarks.
+//
+// Generated graphs are always valid (acyclic by construction, every sink
+// marked as an output) and span a configurable op mix so the allocators and
+// the power model are exercised well beyond the four paper benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mcrtl::dfg {
+
+/// Knobs for random graph generation.
+struct RandomGraphConfig {
+  unsigned num_inputs = 4;
+  unsigned num_nodes = 12;
+  unsigned width = 8;
+  /// Probability a node operand is a fresh constant instead of an existing
+  /// value.
+  double const_prob = 0.1;
+  /// Ops to draw from; empty = a representative arithmetic/logic mix.
+  std::vector<Op> op_pool;
+};
+
+/// Build a random valid Graph.
+Graph random_graph(Rng& rng, const RandomGraphConfig& cfg);
+
+}  // namespace mcrtl::dfg

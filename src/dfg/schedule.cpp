@@ -1,0 +1,336 @@
+#include "dfg/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mcrtl::dfg {
+
+Schedule::Schedule(const Graph& g) : graph_(&g), step_(g.num_nodes(), 0) {}
+
+int Schedule::step(NodeId n) const {
+  MCRTL_CHECK(n.valid() && n.index() < step_.size());
+  return step_[n.index()];
+}
+
+void Schedule::set_step(NodeId n, int t) {
+  MCRTL_CHECK(n.valid() && n.index() < step_.size());
+  MCRTL_CHECK_MSG(t >= 1, "steps are 1-based; got " << t);
+  step_[n.index()] = t;
+}
+
+void Schedule::extend_for(const Graph& g) {
+  MCRTL_CHECK(&g == graph_ && g.num_nodes() >= step_.size());
+  step_.resize(g.num_nodes(), 0);
+}
+
+int Schedule::num_steps() const {
+  int m = 0;
+  for (int t : step_) m = std::max(m, t);
+  return m;
+}
+
+std::vector<NodeId> Schedule::nodes_in_step(int t) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < step_.size(); ++i) {
+    if (step_[i] == t) out.push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+void Schedule::validate() const {
+  for (const auto& n : graph_->nodes()) {
+    if (step_[n.id.index()] < 1) {
+      throw ValidationError("node '" + n.name + "' is unscheduled");
+    }
+    for (ValueId in : n.inputs) {
+      const Value& v = graph_->value(in);
+      if (v.kind != ValueKind::Internal) continue;
+      const int prod = step_[v.producer.index()];
+      const int cons = step_[n.id.index()];
+      if (cons < prod + 1) {
+        throw ValidationError("precedence violated: '" + graph_->node(v.producer).name +
+                              "' (step " + std::to_string(prod) + ") feeds '" + n.name +
+                              "' (step " + std::to_string(cons) + ")");
+      }
+    }
+  }
+}
+
+std::vector<int> Schedule::asap_steps(const Graph& g) {
+  std::vector<int> asap(g.num_nodes(), 1);
+  for (NodeId nid : g.topo_order()) {
+    const Node& n = g.node(nid);
+    int t = 1;
+    for (ValueId in : n.inputs) {
+      const Value& v = g.value(in);
+      if (v.kind == ValueKind::Internal) t = std::max(t, asap[v.producer.index()] + 1);
+    }
+    asap[nid.index()] = t;
+  }
+  return asap;
+}
+
+std::vector<int> Schedule::alap_steps(const Graph& g, int num_steps) {
+  MCRTL_CHECK_MSG(num_steps >= static_cast<int>(g.critical_path_length()),
+                  "horizon " << num_steps << " shorter than critical path "
+                             << g.critical_path_length());
+  std::vector<int> alap(g.num_nodes(), num_steps);
+  auto order = g.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Node& n = g.node(*it);
+    int t = num_steps;
+    for (NodeId consumer : g.value(n.output).consumers) {
+      t = std::min(t, alap[consumer.index()] - 1);
+    }
+    alap[it->index()] = t;
+  }
+  return alap;
+}
+
+Schedule schedule_asap(const Graph& g) {
+  Schedule s(g);
+  const auto asap = Schedule::asap_steps(g);
+  for (const auto& n : g.nodes()) s.set_step(n.id, asap[n.id.index()]);
+  s.validate();
+  return s;
+}
+
+Schedule schedule_alap(const Graph& g, int num_steps) {
+  Schedule s(g);
+  const auto alap = Schedule::alap_steps(g, num_steps);
+  for (const auto& n : g.nodes()) s.set_step(n.id, alap[n.id.index()]);
+  s.validate();
+  return s;
+}
+
+int ResourceLimits::limit_for(Op op) const {
+  auto it = per_op.find(op);
+  return it == per_op.end() ? default_limit : it->second;
+}
+
+Schedule schedule_list(const Graph& g, const ResourceLimits& limits) {
+  Schedule s(g);
+  const int horizon0 = static_cast<int>(g.critical_path_length());
+  const auto asap = Schedule::asap_steps(g);
+  const auto alap = Schedule::alap_steps(g, horizon0);
+
+  std::vector<bool> done(g.num_nodes(), false);
+  std::size_t remaining = g.num_nodes();
+
+  for (int t = 1; remaining > 0; ++t) {
+    MCRTL_CHECK_MSG(t <= horizon0 + static_cast<int>(g.num_nodes()) + 1,
+                    "list scheduler failed to converge");
+    // Candidates: all unscheduled nodes whose producers are all done in
+    // steps < t.
+    std::vector<NodeId> ready;
+    for (const auto& n : g.nodes()) {
+      if (done[n.id.index()]) continue;
+      bool ok = true;
+      for (ValueId in : n.inputs) {
+        const Value& v = g.value(in);
+        if (v.kind != ValueKind::Internal) continue;
+        if (!done[v.producer.index()] || s.step(v.producer) >= t) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(n.id);
+    }
+    // Least slack (alap) first; ties by node id for determinism.
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      if (alap[a.index()] != alap[b.index()]) return alap[a.index()] < alap[b.index()];
+      return a < b;
+    });
+    std::map<Op, int> used;
+    for (NodeId nid : ready) {
+      const Op op = g.node(nid).op;
+      if (used[op] >= limits.limit_for(op)) continue;
+      ++used[op];
+      s.set_step(nid, t);
+      done[nid.index()] = true;
+      --remaining;
+    }
+  }
+  (void)asap;
+  s.validate();
+  return s;
+}
+
+Schedule schedule_partition_balanced(const Graph& g,
+                                     const ResourceLimits& limits,
+                                     int num_clocks) {
+  MCRTL_CHECK(num_clocks >= 1);
+  Schedule s(g);
+  const auto alap0 =
+      Schedule::alap_steps(g, static_cast<int>(g.critical_path_length()));
+
+  // load[res][op] = ops of this class already placed in steps with
+  // t mod num_clocks == res. A partition's ALU count for a class is the
+  // max per-step concurrency; spreading classes across residues lets each
+  // partition reuse one unit across its local steps.
+  std::map<std::pair<int, Op>, int> load;
+
+  std::vector<bool> done(g.num_nodes(), false);
+  std::size_t remaining = g.num_nodes();
+  const int guard =
+      static_cast<int>(g.critical_path_length() + g.num_nodes()) * 2 + 2;
+
+  for (int t = 1; remaining > 0; ++t) {
+    MCRTL_CHECK_MSG(t <= guard, "partition-balanced scheduler failed to converge");
+    std::vector<NodeId> ready;
+    for (const auto& n : g.nodes()) {
+      if (done[n.id.index()]) continue;
+      bool ok = true;
+      for (ValueId in : n.inputs) {
+        const Value& v = g.value(in);
+        if (v.kind != ValueKind::Internal) continue;
+        if (!done[v.producer.index()] || s.step(v.producer) >= t) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(n.id);
+    }
+    // Priority: least slack first; then nodes whose op class is least
+    // loaded in this step's residue (deferring over-represented classes to
+    // other phases when slack allows); ties by id.
+    const int res = t % num_clocks;
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      if (alap0[a.index()] != alap0[b.index()]) {
+        return alap0[a.index()] < alap0[b.index()];
+      }
+      const int la = load[{res, g.node(a).op}];
+      const int lb = load[{res, g.node(b).op}];
+      if (la != lb) return la < lb;
+      return a < b;
+    });
+    std::map<Op, int> used;
+    for (NodeId nid : ready) {
+      const Op op = g.node(nid).op;
+      if (used[op] >= limits.limit_for(op)) continue;
+      // A node with remaining slack skips a residue where its class is
+      // already popular, hoping for a better phase within its window.
+      const bool has_slack = alap0[nid.index()] > t;
+      if (has_slack && num_clocks > 1) {
+        int best_res = 0;
+        int best_load = std::numeric_limits<int>::max();
+        for (int r = 0; r < num_clocks; ++r) {
+          const int l = load[{r, op}];
+          if (l < best_load) {
+            best_load = l;
+            best_res = r;
+          }
+        }
+        if (best_res != res && load[{res, op}] > best_load) continue;
+      }
+      ++used[op];
+      s.set_step(nid, t);
+      done[nid.index()] = true;
+      --remaining;
+      ++load[{res, op}];
+    }
+  }
+  s.validate();
+  return s;
+}
+
+Schedule schedule_force_directed(const Graph& g, int num_steps) {
+  // Paulin & Knight: iteratively pick the (node, step) assignment with the
+  // minimum total force, where force is derived from per-step "distribution
+  // graphs" of expected operator concurrency.
+  Schedule s(g);
+  const std::size_t nn = g.num_nodes();
+  std::vector<int> lo = Schedule::asap_steps(g);
+  std::vector<int> hi = Schedule::alap_steps(g, num_steps);
+  for (std::size_t i = 0; i < nn; ++i) {
+    MCRTL_CHECK_MSG(lo[i] <= hi[i], "infeasible horizon for force-directed scheduling");
+  }
+
+  // Distribution graph per op class: DG[op][t] = sum over nodes of that class
+  // of the probability the node executes in step t (uniform over its window).
+  auto build_dg = [&](std::map<Op, std::vector<double>>& dg) {
+    dg.clear();
+    for (const auto& n : g.nodes()) {
+      auto& vec = dg[n.op];
+      if (vec.empty()) vec.assign(static_cast<std::size_t>(num_steps) + 1, 0.0);
+      const int a = lo[n.id.index()], b = hi[n.id.index()];
+      const double p = 1.0 / static_cast<double>(b - a + 1);
+      for (int t = a; t <= b; ++t) vec[static_cast<std::size_t>(t)] += p;
+    }
+  };
+
+  // Self force of pinning node `nid` to step `t`:
+  //   sum over its window of DG(op, j) * (delta_assignment(j) - p_before(j)).
+  auto self_force = [&](const std::map<Op, std::vector<double>>& dg, NodeId nid,
+                        int t) {
+    const Node& n = g.node(nid);
+    const auto& vec = dg.at(n.op);
+    const int a = lo[nid.index()], b = hi[nid.index()];
+    const double p = 1.0 / static_cast<double>(b - a + 1);
+    double f = 0.0;
+    for (int j = a; j <= b; ++j) {
+      const double delta = (j == t ? 1.0 : 0.0) - p;
+      f += vec[static_cast<std::size_t>(j)] * delta;
+    }
+    return f;
+  };
+
+  // Window-propagation: pinning a node tightens predecessor/successor
+  // windows. We recompute windows from the pinned bounds each round, which
+  // also yields the predecessor/successor force implicitly in later rounds.
+  auto propagate = [&]() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& n : g.nodes()) {
+        for (ValueId in : n.inputs) {
+          const Value& v = g.value(in);
+          if (v.kind != ValueKind::Internal) continue;
+          const auto p = v.producer.index();
+          const auto c = n.id.index();
+          if (lo[c] < lo[p] + 1) { lo[c] = lo[p] + 1; changed = true; }
+          if (hi[p] > hi[c] - 1) { hi[p] = hi[c] - 1; changed = true; }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nn; ++i) {
+      MCRTL_CHECK_MSG(lo[i] <= hi[i], "force-directed window collapsed");
+    }
+  };
+
+  std::vector<bool> fixed(nn, false);
+  for (std::size_t pinned = 0; pinned < nn; ++pinned) {
+    std::map<Op, std::vector<double>> dg;
+    build_dg(dg);
+
+    double best_force = std::numeric_limits<double>::infinity();
+    NodeId best_node;
+    int best_step = 0;
+    for (const auto& n : g.nodes()) {
+      if (fixed[n.id.index()]) continue;
+      for (int t = lo[n.id.index()]; t <= hi[n.id.index()]; ++t) {
+        const double f = self_force(dg, n.id, t);
+        if (f < best_force - 1e-12 ||
+            (std::abs(f - best_force) <= 1e-12 &&
+             (best_node == NodeId() || n.id < best_node))) {
+          best_force = f;
+          best_node = n.id;
+          best_step = t;
+        }
+      }
+    }
+    MCRTL_CHECK(best_node.valid());
+    lo[best_node.index()] = hi[best_node.index()] = best_step;
+    fixed[best_node.index()] = true;
+    propagate();
+  }
+
+  for (const auto& n : g.nodes()) s.set_step(n.id, lo[n.id.index()]);
+  s.validate();
+  return s;
+}
+
+}  // namespace mcrtl::dfg

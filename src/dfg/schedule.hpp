@@ -1,0 +1,90 @@
+// Scheduling: assignment of DFG nodes to control steps.
+//
+// The paper assumes "the data flow graph (DFG) schedule has been determined
+// earlier by any scheduling methodology" (§4). We provide the standard
+// toolbox: ASAP, ALAP, resource-constrained list scheduling, and
+// time-constrained force-directed scheduling (Paulin & Knight, the paper's
+// ref [13]), so every benchmark can be scheduled in-repo.
+//
+// Convention: steps are 1-based (matching the paper's T1, T2, ...). A value
+// produced in step t is written into storage at the end of t and can be read
+// from step t+1 onwards — no combinational chaining across nodes in one step.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace mcrtl::dfg {
+
+/// A complete schedule of a Graph: every node has a 1-based control step.
+class Schedule {
+ public:
+  explicit Schedule(const Graph& g);
+
+  const Graph& graph() const { return *graph_; }
+
+  int step(NodeId n) const;
+  void set_step(NodeId n, int t);
+
+  /// Grow the step table after nodes were appended to the graph (new nodes
+  /// start unscheduled).
+  void extend_for(const Graph& g);
+
+  /// Number of control steps (= max assigned step).
+  int num_steps() const;
+
+  /// Nodes assigned to step t, in node-id order.
+  std::vector<NodeId> nodes_in_step(int t) const;
+
+  /// Checks every node is scheduled and precedence holds
+  /// (consumer.step >= producer.step + 1). Throws ValidationError.
+  void validate() const;
+
+  /// Earliest feasible step per node given this schedule's graph (ASAP
+  /// levels), used for mobility computations.
+  static std::vector<int> asap_steps(const Graph& g);
+  /// Latest feasible steps for a horizon of `num_steps`.
+  static std::vector<int> alap_steps(const Graph& g, int num_steps);
+
+ private:
+  const Graph* graph_;
+  std::vector<int> step_;  // indexed by NodeId, 0 = unscheduled
+};
+
+/// Resource bounds for list scheduling: a cap per operation *class*.
+/// Ops not present map to `default_limit`.
+struct ResourceLimits {
+  std::map<Op, int> per_op;
+  int default_limit = 1;
+
+  int limit_for(Op op) const;
+};
+
+/// ASAP schedule: every node as early as dependences allow.
+Schedule schedule_asap(const Graph& g);
+
+/// ALAP schedule for a fixed horizon (>= critical path length).
+Schedule schedule_alap(const Graph& g, int num_steps);
+
+/// Resource-constrained list scheduling; priority = ALAP urgency (least
+/// slack first). The horizon grows as needed.
+Schedule schedule_list(const Graph& g, const ResourceLimits& limits);
+
+/// Time-constrained force-directed scheduling (Paulin & Knight 1989):
+/// minimizes expected concurrency of same-class operations within the
+/// given horizon by iteratively fixing the node/step pair of least force.
+Schedule schedule_force_directed(const Graph& g, int num_steps);
+
+/// Partition-balanced list scheduling for an n-clock target (the paper's
+/// §5.2 observation that "the schedule can also help": each clock
+/// partition k = t mod n becomes its own datapath module, so a schedule
+/// that spreads each operation class evenly over the step residues mod n
+/// needs fewer ALUs per partition). Same resource limits as
+/// schedule_list; among feasible steps, a ready node prefers the residue
+/// class where its op class is least loaded.
+Schedule schedule_partition_balanced(const Graph& g, const ResourceLimits& limits,
+                                     int num_clocks);
+
+}  // namespace mcrtl::dfg

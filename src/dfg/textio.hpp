@@ -1,0 +1,44 @@
+// Textual DFG interchange format (.dfg).
+//
+// A small line-oriented language so behaviours and schedules can live in
+// files, be diffed, and round-trip through external tools:
+//
+//   graph cmac width 8          # header: name + bit width
+//   input ar                    # primary inputs
+//   const three = 3             # named constants
+//   node m1 = mul ar br @ 1     # op, operands, optional "@ step"
+//   node s1 = sub m1 m2 @ 2
+//   output s1                   # primary outputs
+//   # comments and blank lines are ignored
+//
+// Operands name inputs, constants or earlier node results (a node's result
+// has the node's own name). When every node carries "@ step", parsing also
+// yields a Schedule.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mcrtl::dfg {
+
+/// A parsed .dfg document: the graph, plus the schedule when every node had
+/// an "@ step" annotation.
+struct ParsedDfg {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<Schedule> schedule;  ///< null if any node lacked a step
+};
+
+/// Parse from text; throws mcrtl::Error with a line number on any problem.
+ParsedDfg parse_dfg(const std::string& text);
+ParsedDfg parse_dfg(std::istream& in);
+
+/// Serialize a graph (and optional schedule as "@ step" annotations) into
+/// the textual format. parse_dfg(serialize_dfg(g)) reproduces the graph.
+std::string serialize_dfg(const Graph& g, const Schedule* sched = nullptr);
+
+}  // namespace mcrtl::dfg

@@ -1,0 +1,103 @@
+#include "power/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcrtl::power {
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<ExperimentRecord>& records) {
+  std::ostringstream os;
+  os << "experiment,design,benchmark,width,computations,"
+        "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
+        "power_control_mw,power_io_mw,"
+        "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
+        "area_controller_l2,"
+        "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary\n";
+  for (const auto& r : records) {
+    os << csv_escape(r.experiment) << ',' << csv_escape(r.design) << ','
+       << csv_escape(r.benchmark) << ',' << r.width << ',' << r.computations
+       << ',' << str_format("%.6f", r.power.total) << ','
+       << str_format("%.6f", r.power.combinational) << ','
+       << str_format("%.6f", r.power.storage) << ','
+       << str_format("%.6f", r.power.clock_tree) << ','
+       << str_format("%.6f", r.power.control) << ','
+       << str_format("%.6f", r.power.io) << ','
+       << str_format("%.0f", r.area.total) << ','
+       << str_format("%.0f", r.area.alus) << ','
+       << str_format("%.0f", r.area.storage) << ','
+       << str_format("%.0f", r.area.muxes) << ','
+       << str_format("%.0f", r.area.controller) << ',' << r.stats.num_alus
+       << ',' << r.stats.num_memory_cells << ',' << r.stats.num_mux_inputs
+       << ',' << r.stats.num_clocks << ',' << csv_escape(r.stats.alu_summary)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const std::vector<ExperimentRecord>& records) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << "  {\"experiment\": \"" << json_escape(r.experiment)
+       << "\", \"design\": \"" << json_escape(r.design) << "\", \"benchmark\": \""
+       << json_escape(r.benchmark) << "\", \"width\": " << r.width
+       << ", \"computations\": " << r.computations << ",\n   \"power_mw\": {"
+       << str_format(
+              "\"total\": %.6f, \"comb\": %.6f, \"storage\": %.6f, "
+              "\"clock\": %.6f, \"control\": %.6f, \"io\": %.6f",
+              r.power.total, r.power.combinational, r.power.storage,
+              r.power.clock_tree, r.power.control, r.power.io)
+       << "},\n   \"area_l2\": {"
+       << str_format(
+              "\"total\": %.0f, \"alus\": %.0f, \"storage\": %.0f, "
+              "\"muxes\": %.0f, \"controller\": %.0f",
+              r.area.total, r.area.alus, r.area.storage, r.area.muxes,
+              r.area.controller)
+       << "},\n   \"stats\": {\"alus\": " << r.stats.num_alus
+       << ", \"mem_cells\": " << r.stats.num_memory_cells
+       << ", \"mux_inputs\": " << r.stats.num_mux_inputs
+       << ", \"clocks\": " << r.stats.num_clocks << ", \"alu_summary\": \""
+       << json_escape(r.stats.alu_summary) << "\"}}";
+    os << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace mcrtl::power

@@ -1,0 +1,34 @@
+// Machine-readable experiment records (CSV / JSON).
+//
+// Every bench prints a human table; this module additionally serializes the
+// measured rows so downstream tooling (plots, regression tracking) can
+// consume them without scraping stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/estimator.hpp"
+#include "rtl/design.hpp"
+
+namespace mcrtl::power {
+
+/// One measured design point of an experiment.
+struct ExperimentRecord {
+  std::string experiment;  ///< e.g. "table1_facet"
+  std::string design;      ///< row label, e.g. "3 Clocks"
+  std::string benchmark;
+  unsigned width = 0;
+  std::uint64_t computations = 0;
+  PowerBreakdown power;
+  AreaBreakdown area;
+  rtl::DesignStats stats;
+};
+
+/// CSV with a header row; stable column order.
+std::string to_csv(const std::vector<ExperimentRecord>& records);
+
+/// JSON array of objects (no external dependency; strings are escaped).
+std::string to_json(const std::vector<ExperimentRecord>& records);
+
+}  // namespace mcrtl::power

@@ -1,0 +1,215 @@
+#include "power/tech_library.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcrtl::power {
+
+using dfg::Op;
+using rtl::CompKind;
+
+TechLibrary TechLibrary::cmos08() {
+  TechLibrary t;
+  // --- capacitances (fF per bit) -------------------------------------------
+  t.mux_in_cap_ = 20.0;
+  t.mux_out_cap_ = 22.0;
+  t.alu_in_base_cap_ = 25.0;
+  t.alu_out_cap_ = 30.0;
+  t.alu_internal_share_ = 0.40;  // fraction of function-block internal cap
+                                 // charged per input-bit transition
+  t.storage_d_cap_ = 16.0;
+  t.storage_q_cap_ = 18.0;
+  t.dff_clock_cap_ = 130.0;   // master-slave: both stages toggle per edge
+  t.latch_clock_cap_ = 40.0;  // single transparent stage
+  t.select_pin_cap_ = 14.0;
+  t.load_pin_cap_ = 12.0;
+  t.ctrl_out_cap_ = 12.0;
+  t.input_port_cap_ = 20.0;
+  t.output_port_cap_ = 35.0;
+  t.wire_per_reader_ = 25.0;
+  t.clock_tree_base_ = 1500.0;
+  t.clock_tree_per_sink_ = 280.0;
+  t.clock_gate_event_ = 18.0;
+  // --- areas (λ²) ------------------------------------------------------------
+  t.dff_area_bit_ = 3200.0;
+  t.latch_area_bit_ = 1900.0;
+  t.mux_area_in_bit_ = 1400.0;
+  t.io_area_bit_ = 4500.0;
+  t.ctrl_area_bit_ = 5000.0;  // decoder/driver per control bit
+  t.ctrl_rom_bit_ = 140.0;    // per (control bit x period step)
+  t.ctrl_latch_bit_ = 1500.0;
+  t.clock_gate_area_ = 2200.0;
+  t.multifunction_overhead_ = 1.18;  // wide ALUs synthesize poorly (Table 1)
+  t.addsub_share_factor_ = 0.60;     // (+-) shares one carry chain
+  t.wiring_overhead_ = 1.35;
+  t.fixed_overhead_ = 1300000.0;  // pads, clock generation, global routing
+  return t;
+}
+
+double TechLibrary::func_internal_cap(Op op, unsigned width) const {
+  // fF presented per input-bit transition by the function block's internal
+  // nodes; array structures (mul/div) scale with width.
+  switch (op) {
+    case Op::Add: return 150.0;
+    case Op::Sub: return 160.0;
+    case Op::Mul: return 110.0 * width;
+    case Op::Div: return 130.0 * width;
+    case Op::Mod: return 130.0 * width;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Not: return 40.0;
+    case Op::Neg: return 90.0;
+    case Op::Shl:
+    case Op::Shr: return 70.0;
+    case Op::Lt:
+    case Op::Gt:
+    case Op::Le:
+    case Op::Ge:
+    case Op::Eq:
+    case Op::Ne: return 80.0;
+    case Op::Min:
+    case Op::Max: return 120.0;
+    case Op::Pass: return 15.0;
+  }
+  MCRTL_CHECK(false);
+  return 0.0;
+}
+
+double TechLibrary::input_pin_cap(const rtl::Netlist& nl,
+                                  const rtl::Component& reader,
+                                  rtl::NetId net) const {
+  // Select / load pins first (they can carry nets narrower than the data
+  // width).
+  if (reader.select == net) return select_pin_cap_;
+  if (rtl::is_storage(reader.kind) && reader.load == net) return load_pin_cap_;
+  (void)nl;
+  switch (reader.kind) {
+    case CompKind::Mux:
+      return mux_in_cap_;
+    case CompKind::Bus:
+      // A tri-state driver hanging on the shared line: its input pin is
+      // cheap, but the bus line itself is heavy (see output_cap).
+      return 10.0;
+    case CompKind::IsoGate:
+      // A small transparent latch per bit (hold-mode isolation).
+      return 12.0;
+    case CompKind::Alu: {
+      // Each data-input transition ripples into every function block of a
+      // multifunction ALU — the real power cost of wide function sets.
+      double internal = 0.0;
+      for (Op op : reader.funcs) internal += func_internal_cap(op, reader.width);
+      return alu_in_base_cap_ + alu_internal_share_ * internal;
+    }
+    case CompKind::Register:
+    case CompKind::Latch:
+      return storage_d_cap_;
+    case CompKind::OutputPort:
+      return output_port_cap_;
+    default:
+      return 10.0;
+  }
+}
+
+double TechLibrary::output_cap(const rtl::Component& driver) const {
+  switch (driver.kind) {
+    case CompKind::Mux: return mux_out_cap_;
+    case CompKind::Bus:
+      // The shared line carries every connected tri-state driver's drain
+      // plus long routing: per-connection cost on the output net.
+      return 18.0 + 22.0 * static_cast<double>(driver.inputs.size());
+    case CompKind::Alu: return alu_out_cap_;
+    case CompKind::IsoGate: return 12.0;
+    case CompKind::Register:
+    case CompKind::Latch: return storage_q_cap_;
+    case CompKind::ControlSource: return ctrl_out_cap_;
+    case CompKind::InputPort: return input_port_cap_;
+    case CompKind::Constant: return 0.0;  // static, never toggles anyway
+    default: return 10.0;
+  }
+}
+
+double TechLibrary::net_cap(const rtl::Netlist& nl, const rtl::Net& net) const {
+  double c = output_cap(nl.comp(net.driver));
+  for (rtl::CompId r : net.readers) {
+    c += input_pin_cap(nl, nl.comp(r), net.id) + wire_per_reader_;
+  }
+  return c;
+}
+
+double TechLibrary::storage_clock_pin_cap(CompKind kind) const {
+  MCRTL_CHECK(rtl::is_storage(kind));
+  return kind == CompKind::Register ? dff_clock_cap_ : latch_clock_cap_;
+}
+
+double TechLibrary::clock_tree_cap(int sinks) const {
+  return sinks <= 0 ? 0.0 : clock_tree_base_ + clock_tree_per_sink_ * sinks;
+}
+
+double TechLibrary::func_area(Op op, unsigned width) const {
+  // λ² for one function block of `width` bits.
+  switch (op) {
+    case Op::Add: return 24000.0 * width;
+    case Op::Sub: return 24800.0 * width;
+    case Op::Mul: return 7000.0 * width * width;
+    case Op::Div: return 8500.0 * width * width;
+    case Op::Mod: return 8500.0 * width * width;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Not: return 9000.0 * width;
+    case Op::Neg: return 14000.0 * width;
+    case Op::Shl:
+    case Op::Shr: return 14000.0 * width;
+    case Op::Lt:
+    case Op::Gt:
+    case Op::Le:
+    case Op::Ge:
+    case Op::Eq:
+    case Op::Ne: return 15000.0 * width;
+    case Op::Min:
+    case Op::Max: return 17000.0 * width;
+    case Op::Pass: return 3000.0 * width;
+  }
+  MCRTL_CHECK(false);
+  return 0.0;
+}
+
+double TechLibrary::alu_area(const std::vector<Op>& funcs, unsigned width) const {
+  MCRTL_CHECK(!funcs.empty());
+  if (funcs.size() == 1) return func_area(funcs[0], width);
+  // The (+-) pair shares its carry chain and synthesizes compactly (the
+  // paper's Table 1 note); other multifunction sets pay an overhead.
+  const bool addsub_only = std::all_of(funcs.begin(), funcs.end(), [](Op op) {
+    return op == Op::Add || op == Op::Sub;
+  });
+  double sum = 0.0;
+  for (Op op : funcs) sum += func_area(op, width);
+  if (addsub_only) return sum * addsub_share_factor_ * 2.0 / funcs.size() *
+                          (funcs.size() / 2.0 + 0.5);
+  return sum * multifunction_overhead_;
+}
+
+double TechLibrary::storage_area(CompKind kind, unsigned width) const {
+  MCRTL_CHECK(rtl::is_storage(kind));
+  return (kind == CompKind::Register ? dff_area_bit_ : latch_area_bit_) * width;
+}
+
+double TechLibrary::mux_area(std::size_t inputs, unsigned width) const {
+  return mux_area_in_bit_ * static_cast<double>(inputs) * width;
+}
+
+double TechLibrary::io_port_area(unsigned width) const {
+  return io_area_bit_ * width;
+}
+
+double TechLibrary::controller_area(unsigned control_bits, int period) const {
+  return ctrl_area_bit_ * control_bits + ctrl_rom_bit_ * control_bits * period;
+}
+
+double TechLibrary::control_latch_area(unsigned control_bits) const {
+  return ctrl_latch_bit_ * control_bits;
+}
+
+}  // namespace mcrtl::power

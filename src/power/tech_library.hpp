@@ -1,0 +1,89 @@
+// Parametric 0.8 µm-class technology model.
+//
+// Substitution for the paper's COMPASS 0.8 µm CMOS VSC450 library (see
+// DESIGN.md): every component kind gets a load capacitance per pin/net and
+// an area in λ², scaled by bit-width and — for ALUs — by function set. The
+// absolute values are calibrated to land in the paper's magnitude range
+// (single-digit mW at V = 4.65 V, areas of a few Mλ² for 4-bit datapaths);
+// the *relative* costs encode the trade-offs the paper's analysis rests on:
+//
+//  * a D-flip-flop's clock pin burns ~2x a latch's (master-slave vs. single
+//    stage) — the source of the latch advantage in §2.2;
+//  * a multifunction ALU carries the internal capacitance of all its
+//    function blocks, and (except the well-sharing (+-) pair) synthesizes
+//    with overhead — the paper's Table 1 discussion;
+//  * multipliers/dividers dominate both area and input capacitance and
+//    scale with width;
+//  * every clock phase owns a distribution tree whose root switches at that
+//    phase's frequency f/n.
+#pragma once
+
+#include <vector>
+
+#include "dfg/op.hpp"
+#include "rtl/netlist.hpp"
+
+namespace mcrtl::power {
+
+class TechLibrary {
+ public:
+  /// The default 0.8 µm-class calibration.
+  static TechLibrary cmos08();
+
+  // ---- capacitance (femtofarads, per bit unless noted) ---------------------
+  /// Internal switched capacitance a function block presents per input-bit
+  /// transition.
+  double func_internal_cap(dfg::Op op, unsigned width) const;
+  /// Pin capacitance component `reader` presents on `net` (per bit of that
+  /// net). Distinguishes data inputs, mux/ALU selects and load enables.
+  double input_pin_cap(const rtl::Netlist& nl, const rtl::Component& reader,
+                       rtl::NetId net) const;
+  /// Output driver capacitance of `driver` (per bit).
+  double output_cap(const rtl::Component& driver) const;
+  /// Interconnect capacitance added per reader pin (per bit).
+  double wire_cap_per_reader() const { return wire_per_reader_; }
+  /// Total capacitance of one net: driver + wire + all reader pins.
+  double net_cap(const rtl::Netlist& nl, const rtl::Net& net) const;
+
+  /// Clock pin capacitance of a storage cell (per bit, per delivered edge).
+  double storage_clock_pin_cap(rtl::CompKind kind) const;
+  /// Clock-tree root/wiring capacitance of one phase tree: base + per sink.
+  double clock_tree_cap(int sinks) const;
+  /// Extra capacitance switched by a clock-gating cell per enabled event.
+  double clock_gate_event_cap() const { return clock_gate_event_; }
+
+  // ---- area (λ²) ------------------------------------------------------------
+  double alu_area(const std::vector<dfg::Op>& funcs, unsigned width) const;
+  double storage_area(rtl::CompKind kind, unsigned width) const;
+  double mux_area(std::size_t inputs, unsigned width) const;
+  double io_port_area(unsigned width) const;
+  double clock_gate_area() const { return clock_gate_area_; }
+  /// Controller area from output bits and period length (ROM-style table).
+  double controller_area(unsigned control_bits, int period) const;
+  /// Extra control latches when the latched-control discipline is used.
+  double control_latch_area(unsigned control_bits) const;
+  double wiring_overhead_factor() const { return wiring_overhead_; }
+  double fixed_overhead_area() const { return fixed_overhead_; }
+
+ private:
+  double func_area(dfg::Op op, unsigned width) const;
+
+  // capacitances (fF)
+  double mux_in_cap_, mux_out_cap_;
+  double alu_in_base_cap_, alu_out_cap_, alu_internal_share_;
+  double storage_d_cap_, storage_q_cap_;
+  double dff_clock_cap_, latch_clock_cap_;
+  double select_pin_cap_, load_pin_cap_;
+  double ctrl_out_cap_, input_port_cap_, output_port_cap_;
+  double wire_per_reader_;
+  double clock_tree_base_, clock_tree_per_sink_;
+  double clock_gate_event_;
+  // areas (λ²)
+  double dff_area_bit_, latch_area_bit_, mux_area_in_bit_;
+  double io_area_bit_, ctrl_area_bit_, ctrl_rom_bit_, ctrl_latch_bit_;
+  double clock_gate_area_;
+  double multifunction_overhead_, addsub_share_factor_;
+  double wiring_overhead_, fixed_overhead_;
+};
+
+}  // namespace mcrtl::power

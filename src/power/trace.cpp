@@ -1,0 +1,84 @@
+#include "power/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::power {
+
+PowerTrace::PowerTrace(const rtl::Design& design,
+                       const power::TechLibrary& tech, double vdd)
+    : design_(&design), vdd2_(vdd * vdd) {
+  const auto& nl = design.netlist;
+  net_cap_.reserve(nl.num_nets());
+  for (const auto& net : nl.nets()) net_cap_.push_back(tech.net_cap(nl, net));
+  last_.assign(nl.num_nets(), 0);
+}
+
+void PowerTrace::record(std::uint64_t step,
+                        const std::vector<std::uint64_t>& net_values) {
+  (void)step;
+  MCRTL_CHECK(net_values.size() == net_cap_.size());
+  if (first_) {
+    last_ = net_values;
+    first_ = false;
+    energy_.push_back(0.0);
+    return;
+  }
+  double e = 0.0;
+  for (std::size_t i = 0; i < net_cap_.size(); ++i) {
+    const unsigned toggles = hamming(last_[i], net_values[i]);
+    if (toggles) e += net_cap_[i] * toggles;
+    last_[i] = net_values[i];
+  }
+  energy_.push_back(e * vdd2_);
+}
+
+double PowerTrace::mean_fj() const {
+  if (energy_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : energy_) sum += e;
+  return sum / static_cast<double>(energy_.size());
+}
+
+double PowerTrace::peak_fj() const {
+  double best = 0.0;
+  for (double e : energy_) best = std::max(best, e);
+  return best;
+}
+
+double PowerTrace::crest() const {
+  const double m = mean_fj();
+  return m > 0.0 ? peak_fj() / m : 0.0;
+}
+
+std::string PowerTrace::render_period_profile() const {
+  const int P = design_->clocks.period();
+  std::vector<double> per_step(static_cast<std::size_t>(P), 0.0);
+  std::vector<int> counts(static_cast<std::size_t>(P), 0);
+  for (std::size_t i = 0; i < energy_.size(); ++i) {
+    const auto slot = i % static_cast<std::size_t>(P);
+    per_step[slot] += energy_[i];
+    ++counts[slot];
+  }
+  double peak = 1.0;
+  for (std::size_t s = 0; s < per_step.size(); ++s) {
+    if (counts[s]) per_step[s] /= counts[s];
+    peak = std::max(peak, per_step[s]);
+  }
+  std::ostringstream os;
+  for (int t = 1; t <= P; ++t) {
+    const double e = per_step[static_cast<std::size_t>(t - 1)];
+    const int bars = static_cast<int>(40.0 * e / peak + 0.5);
+    os << str_format("step %2d (CLK_%d) |%-40s| %8.0f fJ\n", t,
+                     design_->clocks.phase_of_step(t),
+                     std::string(static_cast<std::size_t>(bars), '#').c_str(),
+                     e);
+  }
+  return os.str();
+}
+
+}  // namespace mcrtl::power

@@ -1,0 +1,56 @@
+// Per-step power profile of a simulation run.
+//
+// Attaches to the Simulator's step observer, diffs consecutive net-value
+// snapshots weighted with the technology model's net capacitances, and
+// yields an energy-per-master-cycle trace. The multi-clock scheme's visible
+// signature is a *flattened* profile: in each master cycle only one
+// partition's logic switches, instead of the whole datapath surging every
+// cycle.
+//
+// Accounting note: the trace sees one snapshot per step, so intra-step
+// double transitions (a control wave followed by the clock-edge wave) merge
+// into their net effect, and clock-pin/clock-tree energy is not included —
+// the trace profiles *datapath/control switching shape*, while the
+// authoritative totals come from power::estimate_power.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/tech_library.hpp"
+#include "rtl/design.hpp"
+
+namespace mcrtl::power {
+
+class PowerTrace {
+ public:
+  PowerTrace(const rtl::Design& design, const power::TechLibrary& tech,
+             double vdd = 4.65);
+
+  /// Observer hook; feed to Simulator::set_observer.
+  void record(std::uint64_t step, const std::vector<std::uint64_t>& net_values);
+
+  /// Energy per recorded step (femtojoules).
+  const std::vector<double>& energy_fj() const { return energy_; }
+
+  /// Mean/peak energy per step over the recorded window (fJ).
+  double mean_fj() const;
+  double peak_fj() const;
+  /// Peak-to-mean ratio: 1.0 = perfectly flat profile.
+  double crest() const;
+
+  /// ASCII bar chart of the profile folded onto one period (averaged
+  /// across computations): one row per local step.
+  std::string render_period_profile() const;
+
+ private:
+  const rtl::Design* design_;
+  std::vector<double> net_cap_;  // per net, fF
+  double vdd2_;
+  std::vector<std::uint64_t> last_;
+  std::vector<double> energy_;
+  bool first_ = true;
+};
+
+}  // namespace mcrtl::power

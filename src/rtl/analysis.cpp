@@ -1,0 +1,192 @@
+#include "rtl/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcrtl::rtl {
+
+namespace {
+
+}  // namespace
+
+std::vector<DatapathModule> extract_dpms(const Design& design) {
+  const Netlist& nl = design.netlist;
+  std::map<int, DatapathModule> by_part;
+
+  for (const auto& c : nl.components()) {
+    if (c.kind == CompKind::Alu) {
+      DatapathModule& dpm = by_part[c.partition];
+      dpm.partition = c.partition;
+      FunctionalBlock fb;
+      fb.alu = c.id;
+      for (NetId in : c.inputs) {
+        const CompId d = nl.net(in).driver;
+        if (nl.comp(d).kind == CompKind::Mux || nl.comp(d).kind == CompKind::Bus) {
+          if (fb.port_muxes.empty() || fb.port_muxes.back() != d) {
+            fb.port_muxes.push_back(d);
+          }
+        }
+      }
+      for (CompId reader : nl.net(c.output).readers) {
+        const CompKind k = nl.comp(reader).kind;
+        if (is_storage(k)) {
+          fb.memory.push_back(reader);
+        } else if (k == CompKind::Mux) {
+          // storage-input mux: its storage readers belong to this FB
+          for (CompId r2 : nl.net(nl.comp(reader).output).readers) {
+            if (is_storage(nl.comp(r2).kind)) fb.memory.push_back(r2);
+          }
+        }
+      }
+      dpm.blocks.push_back(std::move(fb));
+    } else if (is_storage(c.kind)) {
+      DatapathModule& dpm = by_part[c.partition];
+      dpm.partition = c.partition;
+      dpm.storage.push_back(c.id);
+    } else if (c.kind == CompKind::Mux || c.kind == CompKind::Bus) {
+      by_part[c.partition].partition = c.partition;
+      by_part[c.partition].mux_inputs += static_cast<int>(c.inputs.size());
+    }
+  }
+  std::vector<DatapathModule> out;
+  for (auto& [p, dpm] : by_part) {
+    (void)p;
+    out.push_back(std::move(dpm));
+  }
+  return out;
+}
+
+std::string describe_dpms(const Design& design) {
+  const Netlist& nl = design.netlist;
+  std::ostringstream os;
+  os << "design '" << nl.name() << "' (" << design.style_name << "): "
+     << design.clocks.num_phases() << " clock phase(s), period "
+     << design.clocks.period() << " master cycles\n";
+  for (const auto& dpm : extract_dpms(design)) {
+    os << "DPM " << dpm.partition << " (CLK_" << dpm.partition << " at f/"
+       << design.clocks.num_phases() << "): " << dpm.blocks.size()
+       << " functional block(s), " << dpm.storage.size()
+       << " memory element(s), " << dpm.mux_inputs << " mux input(s)\n";
+    for (const auto& fb : dpm.blocks) {
+      os << "  FB " << nl.comp(fb.alu).name << " funcs ";
+      for (dfg::Op op : nl.comp(fb.alu).funcs) os << dfg::op_symbol(op);
+      os << " | " << fb.port_muxes.size() << " port mux(es) | feeds";
+      if (fb.memory.empty()) os << " (no storage)";
+      for (CompId m : fb.memory) os << " " << nl.comp(m).name;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+TimingReport check_timing_safety(const Design& design) {
+  const Netlist& nl = design.netlist;
+  TimingReport rep;
+  auto violate = [&](std::string msg) {
+    rep.safe = false;
+    rep.violations.push_back(std::move(msg));
+  };
+
+  // 1. storage clocked by its own partition's phase.
+  for (const auto& c : nl.components()) {
+    if (!is_storage(c.kind)) continue;
+    if (c.partition >= 1 && c.clock_phase != c.partition) {
+      violate(str_format("storage '%s' of partition %d clocked by phase %d",
+                         c.name.c_str(), c.partition, c.clock_phase));
+    }
+  }
+
+  // 2. no transparency race: when a latch B captures at step t, no latch in
+  // the *active* combinational cone of B's D input (muxes resolved with
+  // their step-t select values) may also be loading at t — both would be
+  // transparent at once and B would capture A's changing value. The
+  // allocator's strictly-disjoint-lifetime rule guarantees this: a latch
+  // being read at t is never written at t; the checker verifies it on the
+  // actual netlist + control tables.
+  {
+    std::map<NetId, unsigned> signal_of_net;
+    for (const auto& sig : design.control.signals()) {
+      signal_of_net[nl.comp(sig.source).output] = sig.index;
+    }
+    auto loads_at = [&](const Component& c, int t) {
+      if (design.clocks.phase_of_step(t) != c.clock_phase) return false;
+      if (!c.load.valid()) return true;
+      return design.control.line_value(signal_of_net.at(c.load), t) != 0;
+    };
+    // Active cone of a net at step t: latches reachable through muxes
+    // (selected input only) and ALUs (both data inputs).
+    auto active_cone_latches = [&](NetId start, int t) {
+      std::vector<CompId> found;
+      std::vector<bool> seen(nl.num_components(), false);
+      std::vector<NetId> stack{start};
+      while (!stack.empty()) {
+        const NetId net = stack.back();
+        stack.pop_back();
+        const CompId d = nl.net(net).driver;
+        if (seen[d.index()]) continue;
+        seen[d.index()] = true;
+        const Component& c = nl.comp(d);
+        switch (c.kind) {
+          case CompKind::Latch:
+            found.push_back(d);
+            break;
+          case CompKind::Bus:
+          case CompKind::Mux: {
+            const std::uint64_t sel =
+                design.control.line_value(signal_of_net.at(c.select), t);
+            if (sel < c.inputs.size()) stack.push_back(c.inputs[sel]);
+            break;
+          }
+          case CompKind::Alu:
+            stack.push_back(c.inputs[0]);
+            stack.push_back(c.inputs[1]);
+            break;
+          case CompKind::IsoGate:
+            // Conservative: transparent isolation gates pass transitions.
+            stack.push_back(c.inputs[0]);
+            break;
+          default:
+            break;  // registers (edge-triggered), constants, ports: stop
+        }
+      }
+      return found;
+    };
+
+    for (int t = 1; t <= design.control.period(); ++t) {
+      std::vector<CompId> loading;
+      for (const auto& c : nl.components()) {
+        if (c.kind == CompKind::Latch && loads_at(c, t)) loading.push_back(c.id);
+      }
+      for (CompId b : loading) {
+        for (CompId a : active_cone_latches(nl.comp(b).inputs[0], t)) {
+          if (std::find(loading.begin(), loading.end(), a) != loading.end()) {
+            violate(str_format(
+                "latch transparency race at step %d: %s captures through "
+                "open latch %s",
+                t, nl.comp(b).name.c_str(), nl.comp(a).name.c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  // 3. latched control lines match the partition of the driven components.
+  for (const auto& sig : design.control.signals()) {
+    if (!sig.latched) continue;
+    for (CompId reader : nl.net(nl.comp(sig.source).output).readers) {
+      const Component& rc = nl.comp(reader);
+      if (rc.partition >= 1 && rc.partition != sig.partition) {
+        violate(str_format("latched control '%s' (partition %d) drives '%s' "
+                           "of partition %d",
+                           sig.name.c_str(), sig.partition, rc.name.c_str(),
+                           rc.partition));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace mcrtl::rtl

@@ -1,0 +1,57 @@
+// Structural analysis and safety checks of synthesized designs.
+//
+// `describe_dpms` renders the paper's Fig. 3 view: the datapath as disjoint
+// Datapath Modules (DPMs), one per clock partition, each a set of
+// Functional Blocks (mux layer -> ALU -> memory elements).
+//
+// `check_timing_safety` verifies the §3.2 discipline that makes the
+// latch-based multi-clock scheme safe:
+//   1. every memory element is clocked by the phase of its own partition;
+//   2. no latch combinationally feeds a latch of the *same* phase (a
+//      same-phase latch-to-latch path is a transparency race: both latches
+//      are open simultaneously);
+//   3. latched control lines belong to the partition of the components they
+//      drive (a mux must not be steered by another partition's phase).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/design.hpp"
+
+namespace mcrtl::rtl {
+
+/// One functional block of a DPM (Fig. 3(a)): an ALU with its port muxes
+/// and the memory elements it feeds.
+struct FunctionalBlock {
+  CompId alu;
+  std::vector<CompId> port_muxes;  ///< 0..2 muxes feeding the ALU ports
+  std::vector<CompId> memory;     ///< storage elements reading the ALU
+};
+
+/// One datapath module (Fig. 3(b)): everything in one clock partition.
+struct DatapathModule {
+  int partition = 1;
+  std::vector<FunctionalBlock> blocks;
+  std::vector<CompId> storage;  ///< all memory elements of the partition
+  int mux_inputs = 0;
+};
+
+/// Group the design into DPMs.
+std::vector<DatapathModule> extract_dpms(const Design& design);
+
+/// Human-readable Fig. 3-style summary.
+std::string describe_dpms(const Design& design);
+
+/// Result of the timing-safety check.
+struct TimingReport {
+  bool safe = true;
+  std::vector<std::string> violations;
+};
+
+/// Run the §3.2 checks described above. Designs built by `build_design`
+/// from valid bindings must always pass; the check exists to catch
+/// hand-modified netlists and future allocator bugs.
+TimingReport check_timing_safety(const Design& design);
+
+}  // namespace mcrtl::rtl

@@ -1,0 +1,53 @@
+#include "rtl/clock.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::rtl {
+
+ClockScheme::ClockScheme(int num_phases, int schedule_steps)
+    : num_phases_(num_phases), schedule_steps_(schedule_steps) {
+  MCRTL_CHECK_MSG(num_phases >= 1, "need at least one phase");
+  MCRTL_CHECK_MSG(schedule_steps >= 1, "empty schedule");
+  const int min_period = schedule_steps + 1;
+  period_ = ((min_period + num_phases - 1) / num_phases) * num_phases;
+}
+
+int ClockScheme::phase_of_step(int t) const {
+  MCRTL_CHECK(t >= 0);
+  const int k = t % num_phases_;
+  return k == 0 ? num_phases_ : k;
+}
+
+bool ClockScheme::pulses_in_step(int p, int t) const {
+  MCRTL_CHECK(p >= 1 && p <= num_phases_);
+  return phase_of_step(t) == p;
+}
+
+long ClockScheme::pulses_over(int p, long steps) const {
+  MCRTL_CHECK(p >= 1 && p <= num_phases_);
+  // Steps 1..steps; phase p pulses at t = p, p+n, p+2n, ...
+  if (steps < p) return 0;
+  return (steps - p) / num_phases_ + 1;
+}
+
+std::string ClockScheme::waveform() const {
+  // Two characters per step: pulse high then low, e.g. for n=2, T=3:
+  //   step   :  1   2   3   4
+  //   CLK_1  : _#___#__ ...
+  std::string out;
+  out += str_format("master f, %d phase(s), period %d steps\n", num_phases_, period_);
+  for (int p = 1; p <= num_phases_; ++p) {
+    out += str_format("CLK_%d ", p);
+    for (int t = 1; t <= period_; ++t) {
+      out += pulses_in_step(p, t) ? "#_" : "__";
+    }
+    out += '\n';
+  }
+  out += "step  ";
+  for (int t = 1; t <= period_; ++t) out += str_format("%-2d", t % 10);
+  out += '\n';
+  return out;
+}
+
+}  // namespace mcrtl::rtl

@@ -1,0 +1,52 @@
+// The non-overlapping multiple clocking scheme (paper §2, Fig. 2).
+//
+// A master clock of frequency f is divided into n non-overlapping phase
+// clocks CLK_1..CLK_n, each of frequency f/n. One control step of the
+// schedule corresponds to one master clock cycle; the clock edge that ends
+// step t belongs to phase k = t mod n (with k == 0 meaning phase n, the
+// paper's partition P_n rule). The *effective* frequency of the whole
+// datapath remains f: some partition fires every master cycle.
+//
+// Schedules of length T are padded to a period that is a multiple of n so
+// that consecutive computations see an identical phase wheel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcrtl::rtl {
+
+class ClockScheme {
+ public:
+  /// `num_phases` = n >= 1; `schedule_steps` = T, the DFG schedule length.
+  /// The period becomes the smallest multiple of n that is >= T + 1 (the
+  /// extra step is the computation boundary in which outputs are held and
+  /// input registers reload).
+  ClockScheme(int num_phases, int schedule_steps);
+
+  int num_phases() const { return num_phases_; }
+  /// Master cycles per computation.
+  int period() const { return period_; }
+  int schedule_steps() const { return schedule_steps_; }
+
+  /// Phase (1..n) owning the clock edge at the end of step t (t >= 0;
+  /// step 0 and step `period()` are the same boundary edge, phase n).
+  int phase_of_step(int t) const;
+
+  /// True when phase `p` (1..n) has its active pulse in step t.
+  bool pulses_in_step(int p, int t) const;
+
+  /// Number of pulses phase `p` emits over `steps` master cycles starting
+  /// at step 1 (used for clock-tree power accounting).
+  long pulses_over(int p, long steps) const;
+
+  /// ASCII waveform of all phases over one period (Fig. 2 reproduction).
+  std::string waveform() const;
+
+ private:
+  int num_phases_;
+  int schedule_steps_;
+  int period_;
+};
+
+}  // namespace mcrtl::rtl

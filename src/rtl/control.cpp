@@ -1,0 +1,110 @@
+#include "rtl/control.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::rtl {
+
+ControlPlan::ControlPlan(const ClockScheme& clocks) : clocks_(clocks) {}
+
+unsigned ControlPlan::add_signal(std::string name, SignalRole role, unsigned width,
+                                 bool latched, int partition, CompId source) {
+  MCRTL_CHECK(width >= 1 && width <= 64);
+  MCRTL_CHECK(partition >= 1 && partition <= clocks_.num_phases());
+  ControlSignal s;
+  s.index = static_cast<unsigned>(signals_.size());
+  s.name = std::move(name);
+  s.role = role;
+  s.width = width;
+  s.latched = latched;
+  s.partition = partition;
+  s.source = source;
+  signals_.push_back(std::move(s));
+  values_.emplace_back(static_cast<std::size_t>(clocks_.period()), 0);
+  return signals_.back().index;
+}
+
+void ControlPlan::set_value(unsigned sig, int t, std::uint64_t value) {
+  MCRTL_CHECK(sig < signals_.size());
+  MCRTL_CHECK_MSG(t >= 1 && t <= period(), "step " << t << " out of period");
+  values_[sig][static_cast<std::size_t>(t - 1)] = truncate(value, signals_[sig].width);
+}
+
+std::uint64_t ControlPlan::table_value(unsigned sig, int t) const {
+  MCRTL_CHECK(sig < signals_.size());
+  MCRTL_CHECK(t >= 1 && t <= period());
+  return values_[sig][static_cast<std::size_t>(t - 1)];
+}
+
+std::uint64_t ControlPlan::line_value(unsigned sig, int t) const {
+  const ControlSignal& s = signal(sig);
+  MCRTL_CHECK(t >= 1 && t <= period());
+  if (!s.latched) return table_value(sig, t);
+  // Latest step t' <= t with phase(t') == partition; wrap into the previous
+  // period if the partition has not pulsed yet this period.
+  const int n = clocks_.num_phases();
+  int tp = t - ((t - s.partition) % n + n) % n;
+  if (tp < 1) tp += period();  // period is a multiple of n, phase preserved
+  return table_value(sig, tp);
+}
+
+void ControlPlan::hold_fill(unsigned sig, const std::vector<bool>& care,
+                            FillPolicy policy) {
+  MCRTL_CHECK(sig < signals_.size());
+  MCRTL_CHECK(care.size() == static_cast<std::size_t>(period()) + 1);
+  auto& vals = values_[sig];
+  const bool any_care = [&] {
+    for (int t = 1; t <= period(); ++t) {
+      if (care[static_cast<std::size_t>(t)]) return true;
+    }
+    return false;
+  }();
+  if (!any_care) return;  // nothing to anchor the fill; leave zeros
+
+  if (policy == FillPolicy::HoldLast) {
+    // Seed from the last cared value (tables repeat every period).
+    std::uint64_t hold = 0;
+    for (int t = period(); t >= 1; --t) {
+      if (care[static_cast<std::size_t>(t)]) {
+        hold = vals[static_cast<std::size_t>(t - 1)];
+        break;
+      }
+    }
+    for (int t = 1; t <= period(); ++t) {
+      if (care[static_cast<std::size_t>(t)]) {
+        hold = vals[static_cast<std::size_t>(t - 1)];
+      } else {
+        vals[static_cast<std::size_t>(t - 1)] = hold;
+      }
+    }
+  } else {
+    // NextCare: seed from the first cared value (wraps to next period).
+    std::uint64_t next = 0;
+    for (int t = 1; t <= period(); ++t) {
+      if (care[static_cast<std::size_t>(t)]) {
+        next = vals[static_cast<std::size_t>(t - 1)];
+        break;
+      }
+    }
+    for (int t = period(); t >= 1; --t) {
+      if (care[static_cast<std::size_t>(t)]) {
+        next = vals[static_cast<std::size_t>(t - 1)];
+      } else {
+        vals[static_cast<std::size_t>(t - 1)] = next;
+      }
+    }
+  }
+}
+
+const ControlSignal& ControlPlan::signal(unsigned sig) const {
+  MCRTL_CHECK(sig < signals_.size());
+  return signals_[sig];
+}
+
+unsigned ControlPlan::total_bits() const {
+  unsigned bits = 0;
+  for (const auto& s : signals_) bits += s.width;
+  return bits;
+}
+
+}  // namespace mcrtl::rtl

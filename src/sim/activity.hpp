@@ -1,0 +1,39 @@
+// Switching-activity record of one simulation run.
+//
+// This mirrors the COMPASS "power option" methodology the paper used: count
+// transitions on every node over a long random-input run, then let the power
+// model weight each node's transition count with its load capacitance.
+// Toggles are counted in *bits* (Hamming distance between consecutive
+// words), clock activity in delivered edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcrtl::sim {
+
+struct Activity {
+  /// Bit-toggles per net (indexed by NetId).
+  std::vector<std::uint64_t> net_toggles;
+  /// Clock events delivered to each storage element's clock pin (indexed by
+  /// CompId; zero for non-storage components). With gated clocks this only
+  /// counts enabled cycles.
+  std::vector<std::uint64_t> storage_clock_events;
+  /// Q-output bit-toggles per storage element (also included in
+  /// net_toggles; kept separately for the power breakdown).
+  std::vector<std::uint64_t> storage_write_toggles;
+  /// Pulses of each phase clock tree root, indexed 1..n (index 0 unused).
+  std::vector<std::uint64_t> phase_pulses;
+  /// Master clock cycles simulated (= control steps).
+  std::uint64_t steps = 0;
+  /// Computations completed.
+  std::uint64_t computations = 0;
+
+  /// Average toggle rate of a net (bit-toggles per master cycle).
+  double net_rate(std::size_t net) const {
+    return steps == 0 ? 0.0 : static_cast<double>(net_toggles[net]) /
+                                  static_cast<double>(steps);
+  }
+};
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,40 @@
+#include "sim/equivalence.hpp"
+
+#include "util/strings.hpp"
+
+namespace mcrtl::sim {
+
+EquivalenceReport check_equivalence(const rtl::Design& design,
+                                    const dfg::Graph& graph,
+                                    const InputStream& stream) {
+  EquivalenceReport rep;
+  const auto in_order = graph.inputs();
+  const auto out_order = graph.outputs();
+
+  Simulator simulator(design);
+  const SimResult sim = simulator.run(stream, in_order, out_order);
+
+  dfg::Interpreter interp(graph);
+  for (std::size_t c = 0; c < stream.size(); ++c) {
+    const auto golden = interp.run(stream[c]);
+    const auto& rtl_out = sim.outputs[c];
+    for (std::size_t o = 0; o < out_order.size(); ++o) {
+      if (golden.outputs[o] != rtl_out[o]) {
+        rep.equivalent = false;
+        rep.first_mismatch = c;
+        rep.detail = str_format(
+            "computation %zu, output '%s': golden=%llu rtl=%llu (style '%s')", c,
+            graph.value(out_order[o]).name.c_str(),
+            static_cast<unsigned long long>(golden.outputs[o]),
+            static_cast<unsigned long long>(rtl_out[o]),
+            design.style_name.c_str());
+        rep.computations_checked = c + 1;
+        return rep;
+      }
+    }
+  }
+  rep.computations_checked = stream.size();
+  return rep;
+}
+
+}  // namespace mcrtl::sim

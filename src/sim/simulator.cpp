@@ -1,0 +1,159 @@
+#include "sim/simulator.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::sim {
+
+using rtl::CompId;
+using rtl::CompKind;
+using rtl::NetId;
+
+Simulator::Simulator(const rtl::Design& design)
+    : design_(&design),
+      comb_order_(design.netlist.comb_order()),
+      net_value_(design.netlist.num_nets(), 0),
+      storage_q_(design.netlist.num_components(), 0) {}
+
+void Simulator::write_net(NetId net, std::uint64_t value, Activity& act,
+                          bool count) {
+  const std::uint64_t old = net_value_[net.index()];
+  if (old == value) return;
+  if (count) act.net_toggles[net.index()] += hamming(old, value);
+  net_value_[net.index()] = value;
+}
+
+void Simulator::settle(Activity& act, bool count) {
+  const rtl::Netlist& nl = design_->netlist;
+  for (CompId cid : comb_order_) {
+    const rtl::Component& c = nl.comp(cid);
+    std::uint64_t out = 0;
+    if (c.kind == CompKind::Mux || c.kind == CompKind::Bus) {
+      std::uint64_t sel = net_value_[c.select.index()];
+      MCRTL_CHECK_MSG(sel < c.inputs.size(),
+                      "mux/bus '" << c.name << "' select " << sel << " out of range");
+      out = net_value_[c.inputs[sel].index()];
+    } else if (c.kind == CompKind::IsoGate) {
+      // Hold-mode operand isolation: transparent when enabled, otherwise
+      // the downstream ALU keeps seeing the last operand (paper §1:
+      // "holding the old input values as long as possible").
+      out = net_value_[c.select.index()] != 0 ? net_value_[c.inputs[0].index()]
+                                              : net_value_[c.output.index()];
+    } else {  // Alu
+      std::uint64_t code = 0;
+      if (c.select.valid()) code = net_value_[c.select.index()];
+      MCRTL_CHECK_MSG(code < c.funcs.size(),
+                      "alu '" << c.name << "' func code " << code << " out of range");
+      const std::uint64_t a = net_value_[c.inputs[0].index()];
+      const std::uint64_t b = net_value_[c.inputs[1].index()];
+      out = dfg::eval_op(c.funcs[code], a, b, c.width);
+    }
+    write_net(c.output, out, act, count);
+  }
+}
+
+SimResult Simulator::run(const InputStream& stream,
+                         const std::vector<dfg::ValueId>& input_order,
+                         const std::vector<dfg::ValueId>& output_order) {
+  const rtl::Design& d = *design_;
+  const rtl::Netlist& nl = d.netlist;
+  const rtl::ControlPlan& plan = d.control;
+  const int P = d.clocks.period();
+  const int T = d.schedule_steps;
+  const int n = d.clocks.num_phases();
+
+  SimResult result;
+  Activity& act = result.activity;
+  act.net_toggles.assign(nl.num_nets(), 0);
+  act.storage_clock_events.assign(nl.num_components(), 0);
+  act.storage_write_toggles.assign(nl.num_components(), 0);
+  act.phase_pulses.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  auto apply_inputs = [&](std::size_t comp_index, Activity& a, bool count) {
+    MCRTL_CHECK(stream[comp_index].size() == input_order.size());
+    for (std::size_t i = 0; i < input_order.size(); ++i) {
+      const CompId port = d.input_ports.at(input_order[i]);
+      const unsigned w = nl.comp(port).width;
+      write_net(nl.comp(port).output, truncate(stream[comp_index][i], w), a, count);
+    }
+  };
+
+  // ---- preamble (uncounted reset, then the initial input-load edge) ------
+  {
+    Activity scratch = act;  // same shape; discarded
+    for (const auto& sig : plan.signals()) {
+      write_net(nl.comp(sig.source).output, plan.line_value(sig.index, P), scratch,
+                false);
+    }
+    for (const auto& c : nl.components()) {
+      if (c.kind == CompKind::Constant) {
+        write_net(c.output, from_signed(c.const_value, c.width), scratch, false);
+      }
+    }
+    if (!stream.empty()) apply_inputs(0, scratch, false);
+    settle(scratch, false);
+    // Boundary edge (phase n): load the input registers for computation 0.
+    for (const auto& c : nl.components()) {
+      if (!rtl::is_storage(c.kind) || c.clock_phase != n) continue;
+      if (c.load.valid() && net_value_[c.load.index()] == 0) continue;
+      storage_q_[c.id.index()] = net_value_[c.inputs[0].index()];
+      write_net(c.output, storage_q_[c.id.index()], scratch, false);
+    }
+    settle(scratch, false);
+  }
+
+  // ---- main loop ----------------------------------------------------------
+  result.outputs.reserve(stream.size());
+  for (std::size_t comp = 0; comp < stream.size(); ++comp) {
+    for (int t = 1; t <= P; ++t) {
+      // 1. controller drives step-t values.
+      for (const auto& sig : plan.signals()) {
+        write_net(nl.comp(sig.source).output, plan.line_value(sig.index, t), act,
+                  true);
+      }
+      // 2. at the boundary step, the environment presents the next inputs.
+      if (t == P && comp + 1 < stream.size()) apply_inputs(comp + 1, act, true);
+      // 3. combinational wave from control/input changes.
+      settle(act, true);
+      // 4. the phase edge ending step t.
+      const int phase = d.clocks.phase_of_step(t);
+      ++act.phase_pulses[static_cast<std::size_t>(phase)];
+      // Capture simultaneously: read all D inputs before committing.
+      std::vector<std::pair<CompId, std::uint64_t>> captures;
+      for (const auto& c : nl.components()) {
+        if (!rtl::is_storage(c.kind) || c.clock_phase != phase) continue;
+        const bool load = !c.load.valid() || net_value_[c.load.index()] != 0;
+        if (load || !c.clock_gated) {
+          ++act.storage_clock_events[c.id.index()];
+        }
+        if (load) captures.emplace_back(c.id, net_value_[c.inputs[0].index()]);
+      }
+      for (const auto& [cid, dval] : captures) {
+        const rtl::Component& c = nl.comp(cid);
+        const std::uint64_t old = storage_q_[cid.index()];
+        if (old != dval) {
+          act.storage_write_toggles[cid.index()] += hamming(old, dval);
+          storage_q_[cid.index()] = dval;
+          write_net(c.output, dval, act, true);
+        }
+      }
+      // 5. combinational wave from the new storage outputs.
+      settle(act, true);
+      ++act.steps;
+      if (observer_) observer_(act.steps, net_value_);
+      // Sample primary outputs at the end of schedule step T.
+      if (t == T) {
+        OutputSample sample;
+        sample.reserve(output_order.size());
+        for (dfg::ValueId v : output_order) {
+          sample.push_back(storage_q_[d.output_storage.at(v).index()]);
+        }
+        result.outputs.push_back(std::move(sample));
+      }
+    }
+    ++act.computations;
+  }
+  return result;
+}
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,69 @@
+// Phase-accurate simulator for synthesized designs.
+//
+// One control step = one master clock cycle. Within a step:
+//   1. the controller drives new control-line values (latched lines only
+//      change at their partition boundary — ControlPlan::line_value);
+//   2. at the period boundary, primary inputs take the next computation's
+//      values;
+//   3. combinational logic (muxes, ALUs) settles — every output word change
+//      is a counted transition wave;
+//   4. the clock edge ending the step fires for exactly one phase; storage
+//      elements of that phase with an active load enable capture their D
+//      input (all captures commit simultaneously);
+//   5. combinational logic settles again on the new storage outputs.
+//
+// Primary outputs are sampled at the end of schedule step T of each period.
+// All transitions — datapath, control lines, storage outputs, clock pins —
+// are accumulated into an Activity record for the power model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rtl/design.hpp"
+#include "sim/activity.hpp"
+
+namespace mcrtl::sim {
+
+/// One computation's sampled primary outputs, in Graph::outputs() order.
+using OutputSample = std::vector<std::uint64_t>;
+
+/// Input stream: one vector of words per computation, in Graph::inputs()
+/// order.
+using InputStream = std::vector<std::vector<std::uint64_t>>;
+
+/// Result of simulating a stream.
+struct SimResult {
+  std::vector<OutputSample> outputs;  ///< one per computation
+  Activity activity;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const rtl::Design& design);
+
+  /// Simulate `stream.size()` computations. `output_order` lists the output
+  /// values in the order samples should be emitted.
+  SimResult run(const InputStream& stream,
+                const std::vector<dfg::ValueId>& input_order,
+                const std::vector<dfg::ValueId>& output_order);
+
+  /// Optional per-step observer: called after each step settles with
+  /// (global_step, net values). Used by the VCD tracer.
+  using StepObserver =
+      std::function<void(std::uint64_t step, const std::vector<std::uint64_t>&)>;
+  void set_observer(StepObserver obs) { observer_ = std::move(obs); }
+
+ private:
+  void settle(Activity& act, bool count);
+  void write_net(rtl::NetId net, std::uint64_t value, Activity& act, bool count);
+
+  const rtl::Design* design_;
+  std::vector<rtl::CompId> comb_order_;
+  std::vector<std::uint64_t> net_value_;
+  std::vector<std::uint64_t> storage_q_;  // by CompId (storage comps only)
+  StepObserver observer_;
+};
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,53 @@
+#include "sim/stimulus.hpp"
+
+#include "util/bits.hpp"
+
+namespace mcrtl::sim {
+
+InputStream uniform_stream(Rng& rng, std::size_t num_inputs,
+                           std::size_t computations, unsigned width) {
+  InputStream s(computations, std::vector<std::uint64_t>(num_inputs));
+  for (auto& vec : s) {
+    for (auto& w : vec) w = rng.next_bits(width);
+  }
+  return s;
+}
+
+InputStream correlated_stream(Rng& rng, std::size_t num_inputs,
+                              std::size_t computations, unsigned width,
+                              double flip_prob) {
+  InputStream s(computations, std::vector<std::uint64_t>(num_inputs));
+  std::vector<std::uint64_t> prev(num_inputs);
+  for (auto& w : prev) w = rng.next_bits(width);
+  for (auto& vec : s) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      std::uint64_t flips = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        if (rng.next_bool(flip_prob)) flips |= std::uint64_t{1} << b;
+      }
+      prev[i] ^= flips;
+      vec[i] = prev[i];
+    }
+  }
+  return s;
+}
+
+InputStream constant_stream(Rng& rng, std::size_t num_inputs,
+                            std::size_t computations, unsigned width) {
+  std::vector<std::uint64_t> fixed(num_inputs);
+  for (auto& w : fixed) w = rng.next_bits(width);
+  return InputStream(computations, fixed);
+}
+
+InputStream ramp_stream(std::size_t num_inputs, std::size_t computations,
+                        unsigned width) {
+  InputStream s(computations, std::vector<std::uint64_t>(num_inputs));
+  for (std::size_t c = 0; c < computations; ++c) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      s[c][i] = truncate(c * (i + 1), width);
+    }
+  }
+  return s;
+}
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,35 @@
+// Stimulus generation for power simulation.
+//
+// The paper computes power "by simulating the circuit with a large number of
+// random inputs". Uniform random words are the default; correlated and
+// low-activity streams are provided for sensitivity studies (real DSP data
+// has temporal correlation, which lowers switching activity uniformly across
+// design styles).
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mcrtl::sim {
+
+/// Uniform i.i.d. random words (the paper's protocol).
+InputStream uniform_stream(Rng& rng, std::size_t num_inputs,
+                           std::size_t computations, unsigned width);
+
+/// First-order correlated stream: each word is the previous word with each
+/// bit flipped with probability `flip_prob` (0.5 = uniform, 0 = constant).
+InputStream correlated_stream(Rng& rng, std::size_t num_inputs,
+                              std::size_t computations, unsigned width,
+                              double flip_prob);
+
+/// All computations get the same constant words (zero dynamic input power;
+/// isolates clock/control power).
+InputStream constant_stream(Rng& rng, std::size_t num_inputs,
+                            std::size_t computations, unsigned width);
+
+/// Slow ramp: input i counts up by i+1 each computation (low, structured
+/// activity).
+InputStream ramp_stream(std::size_t num_inputs, std::size_t computations,
+                        unsigned width);
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,72 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mcrtl::sim {
+
+namespace {
+/// Two-character printable VCD identifier for net position i.
+std::string vcd_id(std::uint32_t i) {
+  std::string s;
+  s += static_cast<char>('!' + i % 90);
+  s += static_cast<char>('!' + (i / 90) % 90);
+  return s;
+}
+
+std::string bin(std::uint64_t v, unsigned width) {
+  std::string s;
+  for (unsigned b = width; b-- > 0;) s += ((v >> b) & 1) ? '1' : '0';
+  return s;
+}
+}  // namespace
+
+VcdTracer::VcdTracer(const rtl::Design& design, std::vector<rtl::NetId> nets)
+    : design_(&design), nets_(std::move(nets)) {
+  if (nets_.empty()) {
+    for (const auto& n : design.netlist.nets()) nets_.push_back(n.id);
+  }
+  last_.assign(nets_.size(), 0);
+}
+
+void VcdTracer::record(std::uint64_t step,
+                       const std::vector<std::uint64_t>& net_values) {
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+    const std::uint64_t v = net_values[nets_[i].index()];
+    if (first_ || v != last_[i]) {
+      changes_.push_back({step, i, v});
+      last_[i] = v;
+    }
+  }
+  first_ = false;
+}
+
+std::string VcdTracer::render() const {
+  std::ostringstream os;
+  os << "$timescale 1 ns $end\n$scope module " << sanitize_identifier(design_->netlist.name())
+     << " $end\n";
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+    const auto& n = design_->netlist.net(nets_[i]);
+    os << "$var wire " << n.width << " " << vcd_id(i) << " "
+       << sanitize_identifier(n.name) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  std::uint64_t cur = ~std::uint64_t{0};
+  for (const auto& ch : changes_) {
+    if (ch.step != cur) {
+      os << "#" << ch.step << "\n";
+      cur = ch.step;
+    }
+    const auto& n = design_->netlist.net(nets_[ch.net_pos]);
+    if (n.width == 1) {
+      os << (ch.value & 1) << vcd_id(ch.net_pos) << "\n";
+    } else {
+      os << "b" << bin(ch.value, n.width) << " " << vcd_id(ch.net_pos) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mcrtl::sim

@@ -1,0 +1,41 @@
+// Minimal VCD (Value Change Dump) tracer for debugging synthesized designs.
+//
+// Attach a VcdTracer to a Simulator via set_observer(); it records the
+// selected nets once per control step and renders a standard VCD file text
+// that any waveform viewer accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hpp"
+
+namespace mcrtl::sim {
+
+class VcdTracer {
+ public:
+  /// Trace the given nets of `design`; empty = all nets.
+  VcdTracer(const rtl::Design& design, std::vector<rtl::NetId> nets = {});
+
+  /// Observer hook: feed to Simulator::set_observer via
+  ///   sim.set_observer([&](auto step, const auto& nets){ t.record(step, nets); });
+  void record(std::uint64_t step, const std::vector<std::uint64_t>& net_values);
+
+  /// Render the collected trace as VCD text (timescale = one step).
+  std::string render() const;
+
+ private:
+  const rtl::Design* design_;
+  std::vector<rtl::NetId> nets_;
+  struct Change {
+    std::uint64_t step;
+    std::uint32_t net_pos;  // index into nets_
+    std::uint64_t value;
+  };
+  std::vector<std::uint64_t> last_;
+  std::vector<Change> changes_;
+  bool first_ = true;
+};
+
+}  // namespace mcrtl::sim

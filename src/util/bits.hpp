@@ -1,0 +1,42 @@
+// Bit-level utilities used by the datapath simulator and the switching
+// activity counters. Datapath words are carried in uint64_t and masked to
+// the configured bit-width; toggle counting is Hamming distance between the
+// old and new word.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mcrtl {
+
+/// All-ones mask for a `width`-bit word (width in 1..64).
+constexpr std::uint64_t bit_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Truncate `v` to `width` bits.
+constexpr std::uint64_t truncate(std::uint64_t v, unsigned width) {
+  return v & bit_mask(width);
+}
+
+/// Number of bit positions that differ between two words — the quantity the
+/// transition-counting power model accumulates per net.
+constexpr unsigned hamming(std::uint64_t a, std::uint64_t b) {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+/// Sign-extend a `width`-bit word into a signed 64-bit value, for arithmetic
+/// interpretation of datapath words.
+constexpr std::int64_t to_signed(std::uint64_t v, unsigned width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  const std::uint64_t x = truncate(v, width);
+  return static_cast<std::int64_t>((x ^ sign) - sign);
+}
+
+/// Re-encode a signed value as a `width`-bit two's complement word.
+constexpr std::uint64_t from_signed(std::int64_t v, unsigned width) {
+  return truncate(static_cast<std::uint64_t>(v), width);
+}
+
+}  // namespace mcrtl

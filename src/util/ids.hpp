@@ -1,0 +1,56 @@
+// Strong, type-safe integer identifiers.
+//
+// Every IR object in MCRTL (DFG node, value, register, ALU, net, component,
+// clock phase, ...) is referred to by a small integer index into its owning
+// container. Raw `int` indices are easy to mix up across containers, so each
+// class of object gets its own incompatible ID type instantiated from the
+// `StrongId` template below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mcrtl {
+
+/// A strongly typed wrapper around a 32-bit index.
+///
+/// `Tag` is an empty struct that distinguishes otherwise identical ID types
+/// at compile time. The sentinel `invalid()` value is all-ones; a
+/// default-constructed StrongId is invalid.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  /// The reserved "no object" sentinel.
+  static constexpr StrongId invalid() {
+    return StrongId(std::numeric_limits<underlying_type>::max());
+  }
+
+  constexpr bool valid() const { return value_ != invalid().value_; }
+  constexpr underlying_type value() const { return value_; }
+  /// Index form for container subscripting.
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+}  // namespace mcrtl
+
+namespace std {
+template <typename Tag>
+struct hash<mcrtl::StrongId<Tag>> {
+  size_t operator()(mcrtl::StrongId<Tag> id) const noexcept {
+    return std::hash<typename mcrtl::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

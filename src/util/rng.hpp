@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The power methodology of the paper averages node transition counts over a
+// long stream of random input patterns. For reproducible tables the stream
+// must be identical across runs and platforms, so we carry our own
+// xoshiro256** implementation instead of relying on std::mt19937's
+// distribution non-determinism across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcrtl {
+
+/// xoshiro256** 1.0 — public-domain algorithm by Blackman & Vigna.
+/// Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound) (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform `width`-bit word.
+  std::uint64_t next_bits(unsigned width);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p = 0.5);
+
+  /// Uniform int in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcrtl

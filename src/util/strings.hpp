@@ -1,0 +1,29 @@
+// Small string helpers shared by report printers and the VHDL emitter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcrtl {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// True if `s` is a valid VHDL/C-style identifier.
+bool is_identifier(const std::string& s);
+
+/// Mangle an arbitrary name into a safe identifier (non-alnum -> '_',
+/// leading digit prefixed).
+std::string sanitize_identifier(const std::string& s);
+
+/// Format a double with `digits` significant decimals, trimming trailing
+/// zeros ("3.50" stays "3.50" when digits==2; used for table output).
+std::string format_fixed(double v, int digits);
+
+}  // namespace mcrtl

@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcrtl {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  MCRTL_CHECK(!header_.empty());
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::Right);
+    aligns_[0] = Align::Left;  // first column is usually the design name
+  }
+  MCRTL_CHECK(aligns_.size() == header_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MCRTL_CHECK_MSG(row.size() == header_.size(),
+                  "row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += " | ";
+      const std::size_t pad = width[c] - row[c].size();
+      if (aligns_[c] == Align::Right) out.append(pad, ' ');
+      out += row[c];
+      if (aligns_[c] == Align::Left && c + 1 != row.size()) out.append(pad, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c ? 3 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace mcrtl

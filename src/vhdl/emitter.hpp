@@ -1,0 +1,20 @@
+// Structural VHDL-93 export of a synthesized design.
+//
+// The paper's flow produced VHDL for the COMPASS ASIC Synthesizer (§5.1);
+// this emitter keeps the flow end-to-end: entities for ALUs, muxes, latches
+// and registers, a clock divider generating the n non-overlapping phases
+// from the master clock, and a controller process holding the control table
+// as constants. The output is self-contained synthesizable-style VHDL
+// intended for inspection and external simulation.
+#pragma once
+
+#include <string>
+
+#include "rtl/design.hpp"
+
+namespace mcrtl::vhdl {
+
+/// Render `design` as one VHDL file (entity name = netlist name).
+std::string emit_vhdl(const rtl::Design& design);
+
+}  // namespace mcrtl::vhdl

@@ -1,0 +1,16 @@
+// Structural Verilog-2001 export of a synthesized design — the second HDL
+// backend (see emitter.hpp for VHDL). Same structure: step counter, phase
+// generation, controller case tables, datapath continuous assignments,
+// edge-triggered registers and transparent latches.
+#pragma once
+
+#include <string>
+
+#include "rtl/design.hpp"
+
+namespace mcrtl::vhdl {
+
+/// Render `design` as one Verilog file (module name = netlist name).
+std::string emit_verilog(const rtl::Design& design);
+
+}  // namespace mcrtl::vhdl

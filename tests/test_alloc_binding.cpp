@@ -1,0 +1,283 @@
+// Unit tests for the binding model, left-edge allocation and FU binding.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/conventional.hpp"
+#include "dfg/random_graph.hpp"
+#include "dfg/schedule.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::alloc {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::Schedule;
+using dfg::ValueId;
+
+Binding make_conventional(const Schedule& s, const LifetimeAnalysis& lts,
+                          StorageKind kind = StorageKind::Register) {
+  ConventionalOptions opts;
+  opts.storage_kind = kind;
+  return allocate_conventional(s, lts, opts);
+}
+
+TEST(LeftEdgeTest, ReachesMaxLiveBoundOnChain) {
+  // Serial chain: max two values live at once -> left-edge should pack into
+  // very few registers.
+  Graph g("chain", 8);
+  ValueId v = g.add_input("i");
+  for (int k = 0; k < 6; ++k) v = g.add_unary(Op::Neg, v);
+  g.mark_output(v);
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  const Binding b = make_conventional(s, lts);
+  EXPECT_LE(b.num_memory_cells(), lts.max_live() + 1);
+}
+
+TEST(LeftEdgeTest, NeverBelowMaxLive) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    dfg::RandomGraphConfig cfg;
+    cfg.num_nodes = 20;
+    const Graph g = dfg::random_graph(rng, cfg);
+    const Schedule s = dfg::schedule_asap(g);
+    LifetimeAnalysis lts(s);
+    const Binding b = make_conventional(s, lts);
+    EXPECT_GE(b.num_memory_cells(), lts.max_live());
+  }
+}
+
+TEST(LeftEdgeTest, LatchKindProducesLatchUnits) {
+  Graph g("l", 8);
+  const ValueId a = g.add_input("a");
+  g.mark_output(g.add_unary(Op::Neg, a));
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  const Binding b = make_conventional(s, lts, StorageKind::Latch);
+  for (const auto& su : b.storage()) EXPECT_EQ(su.kind, StorageKind::Latch);
+}
+
+TEST(LeftEdgeTest, LatchNeedsMoreOrEqualCells) {
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    dfg::RandomGraphConfig cfg;
+    cfg.num_nodes = 25;
+    const Graph g = dfg::random_graph(rng, cfg);
+    const Schedule s = dfg::schedule_asap(g);
+    LifetimeAnalysis lts(s);
+    const int regs = make_conventional(s, lts, StorageKind::Register).num_memory_cells();
+    const int latches = make_conventional(s, lts, StorageKind::Latch).num_memory_cells();
+    EXPECT_GE(latches, regs);
+  }
+}
+
+TEST(FuBindingTest, NoDoubleBookingAndFullCoverage) {
+  Rng rng(25);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_nodes = 30;
+  const Graph g = dfg::random_graph(rng, cfg);
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  const Binding b = make_conventional(s, lts);
+
+  std::set<std::pair<unsigned, int>> busy;
+  for (const auto& n : g.nodes()) {
+    const unsigned fu = b.fu_of(n.id);
+    EXPECT_TRUE(busy.emplace(fu, s.step(n.id)).second);
+    EXPECT_TRUE(b.func_units()[fu].supports(n.op));
+  }
+}
+
+TEST(FuBindingTest, MaxFunctionsRespected) {
+  Rng rng(27);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_nodes = 40;
+  const Graph g = dfg::random_graph(rng, cfg);
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  ConventionalOptions opts;
+  opts.fu.max_functions = 2;
+  const Binding b = allocate_conventional(s, lts, opts);
+  for (const auto& fu : b.func_units()) EXPECT_LE(fu.funcs.size(), 2u);
+}
+
+TEST(FuBindingTest, HighAddCostYieldsSingleFunctionUnits) {
+  Rng rng(29);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_nodes = 30;
+  const Graph g = dfg::random_graph(rng, cfg);
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  ConventionalOptions opts;
+  opts.fu.function_add_cost = 5.0;  // always prefer a fresh ALU
+  const Binding b = allocate_conventional(s, lts, opts);
+  for (const auto& fu : b.func_units()) EXPECT_EQ(fu.funcs.size(), 1u);
+}
+
+TEST(FuncUnitTest, FuncCodesAndSummary) {
+  Graph g("f", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId n1 = g.add_node(Op::Add, {a, b});
+  const NodeId n2 = g.add_node(Op::Sub, {g.node(n1).output, b});
+  g.mark_output(g.node(n2).output);
+  Schedule s(g);
+  s.set_step(n1, 1);
+  s.set_step(n2, 2);
+  LifetimeAnalysis lts(s);
+  ConventionalOptions opts;
+  opts.fu.function_add_cost = 0.1;  // force merging into one ALU
+  const Binding bind = allocate_conventional(s, lts, opts);
+  ASSERT_EQ(bind.func_units().size(), 1u);
+  const FuncUnit& fu = bind.func_units()[0];
+  EXPECT_EQ(fu.func_code(Op::Add), 0);
+  EXPECT_EQ(fu.func_code(Op::Sub), 1);
+  EXPECT_EQ(fu.func_string(), "(+-)");
+  EXPECT_EQ(bind.alu_summary(), "1(+-)");
+}
+
+TEST(BindingTest, MuxCountingSingleSourceIsWire) {
+  // One ALU fed always from the same two registers: no muxes at the ALU
+  // ports. (The output value shares a register with input `a` — the left
+  // edge packs abutting lifetimes — so that register's data input has two
+  // sources and gets the only mux.)
+  Graph g("w", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId n = g.add_node(Op::Add, {a, b});
+  g.mark_output(g.node(n).output);
+  Schedule s(g);
+  s.set_step(n, 1);
+  LifetimeAnalysis lts(s);
+  const Binding bind = make_conventional(s, lts);
+  ASSERT_EQ(bind.func_units().size(), 1u);
+  EXPECT_EQ(bind.fu_port_sources(0, 0).size(), 1u);
+  EXPECT_EQ(bind.fu_port_sources(0, 1).size(), 1u);
+  EXPECT_EQ(bind.num_muxes(), 1);
+  EXPECT_EQ(bind.num_mux_inputs(), 2);
+}
+
+TEST(BindingTest, NoMuxesWhenNothingShared) {
+  // Keep every value in its own register (all lifetimes overlap): single
+  // op, both inputs also outputs so nothing can share.
+  Graph g("w2", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId n = g.add_node(Op::Add, {a, b});
+  g.mark_output(g.node(n).output);
+  g.mark_output(a);
+  g.mark_output(b);
+  Schedule s(g);
+  s.set_step(n, 1);
+  LifetimeAnalysis lts(s);
+  const Binding bind = make_conventional(s, lts);
+  EXPECT_EQ(bind.num_muxes(), 0);
+  EXPECT_EQ(bind.num_mux_inputs(), 0);
+}
+
+TEST(BindingTest, CommutativeSwapReducesMuxInputs) {
+  // Two adds on one ALU with operands (r0,r1) and (r1,r0): with swapping the
+  // ALU ports each see one source; without, both ports need 2-input muxes.
+  Graph g("swap", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId n1 = g.add_node(Op::Add, {a, b});
+  const NodeId n2 = g.add_node(Op::Add, {b, a});
+  g.mark_output(g.node(n1).output);
+  g.mark_output(g.node(n2).output);
+  Schedule s(g);
+  s.set_step(n1, 1);
+  s.set_step(n2, 2);
+  LifetimeAnalysis lts(s);
+  ConventionalOptions opts;
+  opts.fu.function_add_cost = 0.1;
+  const Binding bind = allocate_conventional(s, lts, opts);
+  ASSERT_EQ(bind.func_units().size(), 1u);
+  EXPECT_EQ(bind.fu_port_sources(0, 0).size(), 1u);
+  EXPECT_EQ(bind.fu_port_sources(0, 1).size(), 1u);
+  EXPECT_TRUE(bind.operands_swapped(n2) != bind.operands_swapped(n1));
+}
+
+TEST(BindingTest, ValidateCatchesDoubleAssignment) {
+  Graph g("d", 8);
+  const ValueId a = g.add_input("a");
+  g.mark_output(g.add_unary(Op::Neg, a));
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  Binding b(s, lts, 1);
+  const unsigned su = b.add_storage(StorageKind::Register, 1);
+  b.assign_value(a, su);
+  EXPECT_THROW(b.assign_value(a, su), Error);
+}
+
+TEST(BindingTest, ValidateCatchesOverlappingMerge) {
+  Graph g("o", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId n = g.add_node(Op::Add, {a, b});
+  g.mark_output(g.node(n).output);
+  Schedule s(g);
+  s.set_step(n, 1);
+  LifetimeAnalysis lts(s);
+  Binding bind(s, lts, 1);
+  const unsigned su = bind.add_storage(StorageKind::Register, 1);
+  bind.assign_value(a, su);
+  bind.assign_value(b, su);  // both live during step 1
+  const unsigned s2 = bind.add_storage(StorageKind::Register, 1);
+  bind.assign_value(g.node(n).output, s2);
+  const unsigned fu = bind.add_func_unit(1);
+  bind.assign_op(n, fu);
+  EXPECT_THROW(bind.finalize(), Error);
+}
+
+TEST(BindingTest, ConstantsAreNotStored) {
+  Graph g("c", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId c = g.add_constant(7);
+  const NodeId n = g.add_node(Op::Add, {a, c});
+  g.mark_output(g.node(n).output);
+  Schedule s(g);
+  s.set_step(n, 1);
+  LifetimeAnalysis lts(s);
+  const Binding b = make_conventional(s, lts);
+  EXPECT_EQ(b.storage_of(c), -1);
+  // The constant arrives at the ALU as a Constant source.
+  const Source& src = b.operand_source(n, 1);
+  EXPECT_TRUE(src.kind == Source::Kind::Constant ||
+              b.operand_source(n, 0).kind == Source::Kind::Constant);
+}
+
+TEST(BindingTest, TransferMarksOnlyPassNodes) {
+  Graph g("t", 8);
+  const ValueId a = g.add_input("a");
+  const NodeId bad = g.add_node(Op::Neg, {a});
+  g.mark_output(g.node(bad).output);
+  Schedule s(g);
+  s.set_step(bad, 1);
+  LifetimeAnalysis lts(s);
+  Binding b(s, lts, 1);
+  EXPECT_THROW(b.mark_transfer(bad), Error);
+}
+
+TEST(BindingTest, PartitionOfStepPaperRule) {
+  Graph g("p", 8);
+  const ValueId a = g.add_input("a");
+  g.mark_output(g.add_unary(Op::Neg, a));
+  const Schedule s = dfg::schedule_asap(g);
+  LifetimeAnalysis lts(s);
+  const Binding b2(s, lts, 2);
+  EXPECT_EQ(b2.partition_of_step(1), 1);
+  EXPECT_EQ(b2.partition_of_step(2), 2);
+  EXPECT_EQ(b2.partition_of_step(3), 1);
+  EXPECT_EQ(b2.partition_of_step(0), 2);  // step 0 belongs to partition n
+  const Binding b3(s, lts, 3);
+  EXPECT_EQ(b3.partition_of_step(3), 3);
+  EXPECT_EQ(b3.partition_of_step(4), 1);
+  EXPECT_EQ(b3.partition_of_step(6), 3);
+}
+
+}  // namespace
+}  // namespace mcrtl::alloc

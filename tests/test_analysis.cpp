@@ -1,0 +1,102 @@
+// Unit tests for the DPM structure extraction and the Sec. 3.2 timing
+// safety checker.
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "rtl/analysis.hpp"
+#include "suite/benchmarks.hpp"
+
+namespace mcrtl::rtl {
+namespace {
+
+core::Synthesized make(const char* name, core::DesignStyle style, int clocks) {
+  const auto b = suite::by_name(name, 8);
+  core::SynthesisOptions opts;
+  opts.style = style;
+  opts.num_clocks = clocks;
+  return core::synthesize(*b.graph, *b.schedule, opts);
+}
+
+TEST(DpmExtractionTest, OneDpmPerPartition) {
+  for (int n = 1; n <= 3; ++n) {
+    const auto syn = make("hal", core::DesignStyle::MultiClock, n);
+    const auto dpms = extract_dpms(*syn.design);
+    EXPECT_EQ(dpms.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    for (const auto& dpm : dpms) {
+      EXPECT_GE(dpm.partition, 1);
+      EXPECT_LE(dpm.partition, n);
+      EXPECT_FALSE(dpm.storage.empty());
+    }
+  }
+}
+
+TEST(DpmExtractionTest, BlocksCoverAllAlus) {
+  const auto syn = make("biquad", core::DesignStyle::MultiClock, 2);
+  const auto dpms = extract_dpms(*syn.design);
+  std::size_t total_blocks = 0;
+  for (const auto& dpm : dpms) total_blocks += dpm.blocks.size();
+  std::size_t alus = 0;
+  for (const auto& c : syn.design->netlist.components()) {
+    alus += c.kind == CompKind::Alu ? 1 : 0;
+  }
+  EXPECT_EQ(total_blocks, alus);
+}
+
+TEST(DpmExtractionTest, DescribeMentionsEveryDpm) {
+  const auto syn = make("facet", core::DesignStyle::MultiClock, 3);
+  const std::string text = describe_dpms(*syn.design);
+  EXPECT_NE(text.find("DPM 1"), std::string::npos);
+  EXPECT_NE(text.find("DPM 2"), std::string::npos);
+  EXPECT_NE(text.find("DPM 3"), std::string::npos);
+  EXPECT_NE(text.find("FB "), std::string::npos);
+}
+
+TEST(TimingSafetyTest, AllSynthesizedDesignsAreSafe) {
+  // Every design the flow produces must pass the checker — across all
+  // benchmarks, styles and clock counts (no false positives either).
+  for (const auto& name : suite::all_names()) {
+    for (int n = 1; n <= 3; ++n) {
+      const auto syn = make(name.c_str(), core::DesignStyle::MultiClock, n);
+      const auto rep = check_timing_safety(*syn.design);
+      EXPECT_TRUE(rep.safe) << name << " n=" << n << ": "
+                            << (rep.violations.empty() ? ""
+                                                       : rep.violations[0]);
+    }
+    const auto conv = make(name.c_str(), core::DesignStyle::ConventionalGated, 1);
+    EXPECT_TRUE(check_timing_safety(*conv.design).safe) << name;
+  }
+}
+
+TEST(TimingSafetyTest, DetectsWrongPhaseStorage) {
+  auto syn = make("hal", core::DesignStyle::MultiClock, 2);
+  // Sabotage: move one storage element to the wrong phase.
+  for (auto& c : const_cast<std::vector<Component>&>(
+           syn.design->netlist.components())) {
+    if (is_storage(c.kind) && c.partition == 1) {
+      c.clock_phase = 2;
+      break;
+    }
+  }
+  const auto rep = check_timing_safety(*syn.design);
+  EXPECT_FALSE(rep.safe);
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_NE(rep.violations[0].find("clocked by phase"), std::string::npos);
+}
+
+TEST(TimingSafetyTest, DetectsCrossPartitionLatchedControl) {
+  auto syn = make("hal", core::DesignStyle::MultiClock, 2);
+  // Sabotage: claim a latched control line belongs to the other partition.
+  auto& control = syn.design->control;
+  for (const auto& sig : control.signals()) {
+    if (sig.latched) {
+      const_cast<ControlSignal&>(control.signal(sig.index)).partition =
+          sig.partition == 1 ? 2 : 1;
+      break;
+    }
+  }
+  const auto rep = check_timing_safety(*syn.design);
+  EXPECT_FALSE(rep.safe);
+}
+
+}  // namespace
+}  // namespace mcrtl::rtl

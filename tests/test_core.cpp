@@ -1,0 +1,296 @@
+// Unit tests for the paper's core algorithms: clock partitioning, the
+// integrated allocator (transfer temporaries, partition invariants) and the
+// split allocator (clean-up phase).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/partition.hpp"
+#include "core/synthesizer.hpp"
+#include "suite/benchmarks.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::core {
+namespace {
+
+using dfg::NodeId;
+using dfg::Op;
+using dfg::ValueId;
+
+TEST(PartitionMathTest, PaperModRule) {
+  // k = t mod n, with k == 0 meaning partition n (paper §4.1).
+  EXPECT_EQ(partition_of_step(1, 2), 1);
+  EXPECT_EQ(partition_of_step(2, 2), 2);
+  EXPECT_EQ(partition_of_step(3, 2), 1);
+  EXPECT_EQ(partition_of_step(4, 2), 2);
+  EXPECT_EQ(partition_of_step(6, 3), 3);
+  EXPECT_EQ(partition_of_step(7, 3), 1);
+  EXPECT_EQ(partition_of_step(0, 3), 3);  // input-load boundary
+}
+
+TEST(PartitionMathTest, LocalGlobalInverse) {
+  for (int n = 1; n <= 4; ++n) {
+    for (int t = 1; t <= 24; ++t) {
+      const int k = partition_of_step(t, n);
+      const int loc = local_step(t, n);
+      EXPECT_EQ(global_step(loc, k, n), t) << "t=" << t << " n=" << n;
+    }
+  }
+}
+
+TEST(PartitionMathTest, LocalStepsAreContiguousPerPartition) {
+  const int n = 3;
+  for (int k = 1; k <= n; ++k) {
+    int expected = 1;
+    for (int t = 1; t <= 30; ++t) {
+      if (partition_of_step(t, n) == k) {
+        EXPECT_EQ(local_step(t, n), expected);
+        ++expected;
+      }
+    }
+  }
+}
+
+TEST(PartitionScheduleTest, EveryNodeInExactlyOnePartition) {
+  const auto b = suite::hal(8);
+  for (int n = 1; n <= 4; ++n) {
+    const auto ps = partition_schedule(*b.schedule, n);
+    std::size_t total = 0;
+    for (const auto& part : ps.nodes) total += part.size();
+    EXPECT_EQ(total, b.graph->num_nodes());
+    for (int k = 1; k <= n; ++k) {
+      for (NodeId nid : ps.nodes[static_cast<std::size_t>(k - 1)]) {
+        EXPECT_EQ(partition_of_step(b.schedule->step(nid), n), k);
+      }
+    }
+  }
+}
+
+TEST(PartitionScheduleTest, CutEdgesAreCrossPartition) {
+  const auto b = suite::hal(8);
+  const auto ps = partition_schedule(*b.schedule, 2);
+  for (const auto& [v, consumer] : ps.cut_edges) {
+    const auto& val = b.graph->value(v);
+    const int birth = val.kind == dfg::ValueKind::Input
+                          ? 0
+                          : b.schedule->step(val.producer);
+    EXPECT_NE(partition_of_step(birth, 2),
+              partition_of_step(b.schedule->step(consumer), 2));
+  }
+}
+
+TEST(PartitionScheduleTest, SingleClockHasNoCutEdges) {
+  const auto b = suite::hal(8);
+  const auto ps = partition_schedule(*b.schedule, 1);
+  EXPECT_TRUE(ps.cut_edges.empty());
+}
+
+TEST(IntegratedTest, OperandPartitionInvariant) {
+  // After transfer insertion, every internal operand of every (non-transfer)
+  // node is written in the partition preceding the node's step — the §4.2
+  // stability invariant.
+  for (const char* name : {"facet", "hal", "biquad", "ewf"}) {
+    for (int n = 2; n <= 3; ++n) {
+      const auto b = suite::by_name(name, 8);
+      IntegratedOptions opts;
+      opts.num_clocks = n;
+      const auto r = allocate_integrated(*b.graph, *b.schedule, opts);
+      const auto& g = *r.graph;
+      const auto& s = *r.schedule;
+      for (const auto& node : g.nodes()) {
+        if (r.binding->is_transfer(node.id)) continue;
+        const int t = s.step(node.id);
+        const int target = partition_of_step(t - 1, n);
+        for (ValueId in : node.inputs) {
+          const auto& v = g.value(in);
+          if (v.kind != dfg::ValueKind::Internal) continue;
+          EXPECT_EQ(partition_of_step(s.step(v.producer), n), target)
+              << name << " n=" << n << " node " << node.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegratedTest, TransfersAreSharedBetweenConsumers) {
+  // Two consumers of the same value in the same phase share one temporary.
+  dfg::Graph g("share", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const NodeId p = g.add_node(Op::Add, {a, b}, "p");       // step 1
+  const ValueId pv = g.node(p).output;
+  const NodeId c1 = g.add_node(Op::Sub, {pv, a}, "c1");    // step 4
+  const NodeId c2 = g.add_node(Op::Add, {pv, b}, "c2");    // step 4
+  g.mark_output(g.node(c1).output);
+  g.mark_output(g.node(c2).output);
+  dfg::Schedule s(g);
+  s.set_step(p, 1);
+  s.set_step(c1, 4);
+  s.set_step(c2, 4);
+
+  IntegratedOptions opts;
+  opts.num_clocks = 2;
+  const auto r = allocate_integrated(g, s, opts);
+  // pv born step 1 (partition 1); consumers at step 4 need partition of
+  // step 3 = 1... that IS partition 1, so actually no transfer needed here.
+  // Re-check with 3 clocks: step 4's preceding partition is 3, pv is in 1.
+  IntegratedOptions opts3;
+  opts3.num_clocks = 3;
+  const auto r3 = allocate_integrated(g, s, opts3);
+  EXPECT_EQ(r.transfers_inserted, 0);
+  EXPECT_EQ(r3.transfers_inserted, 1);  // shared by c1 and c2
+}
+
+TEST(IntegratedTest, NoTransfersForSingleClock) {
+  const auto b = suite::hal(8);
+  IntegratedOptions opts;
+  opts.num_clocks = 1;
+  const auto r = allocate_integrated(*b.graph, *b.schedule, opts);
+  EXPECT_EQ(r.transfers_inserted, 0);
+  EXPECT_EQ(r.graph->num_nodes(), b.graph->num_nodes());
+}
+
+TEST(IntegratedTest, AblationFlagSuppressesTransfers) {
+  const auto b = suite::hal(8);
+  IntegratedOptions opts;
+  opts.num_clocks = 3;
+  opts.insert_transfers = false;
+  const auto r = allocate_integrated(*b.graph, *b.schedule, opts);
+  EXPECT_EQ(r.transfers_inserted, 0);
+}
+
+TEST(IntegratedTest, StoragePartitionHomogeneous) {
+  const auto b = suite::biquad(8);
+  IntegratedOptions opts;
+  opts.num_clocks = 3;
+  const auto r = allocate_integrated(*b.graph, *b.schedule, opts);
+  for (const auto& su : r.binding->storage()) {
+    for (ValueId v : su.values) {
+      EXPECT_EQ(r.binding->partition_of_value(v), su.partition);
+    }
+  }
+}
+
+TEST(IntegratedTest, FuPartitionMatchesOps) {
+  const auto b = suite::facet(8);
+  IntegratedOptions opts;
+  opts.num_clocks = 2;
+  const auto r = allocate_integrated(*b.graph, *b.schedule, opts);
+  for (const auto& fu : r.binding->func_units()) {
+    for (NodeId op : fu.ops) {
+      EXPECT_EQ(r.binding->partition_of_step(r.schedule->step(op)), fu.partition);
+    }
+  }
+}
+
+TEST(SplitTest, CleanupStatsPopulated) {
+  const auto b = suite::hal(8);
+  SplitOptions opts;
+  opts.num_clocks = 2;
+  const auto r = allocate_split(*b.graph, *b.schedule, opts);
+  // HAL has cross-partition values; the clean-up phase must have removed
+  // their duplicate registers.
+  EXPECT_GT(r.cleanup.pseudo_input_registers_removed, 0);
+  EXPECT_GE(r.cleanup.latch_conflicts_split, 0);
+  // Under 3 clocks, dx is read in partitions 1 and 3: the shared-input
+  // merge fires.
+  SplitOptions opts3;
+  opts3.num_clocks = 3;
+  const auto r3 = allocate_split(*b.graph, *b.schedule, opts3);
+  EXPECT_GT(r3.cleanup.shared_inputs_merged, 0);
+}
+
+TEST(SplitTest, BindingIsValidAndLatchSafe) {
+  for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+    for (int n = 2; n <= 3; ++n) {
+      const auto b = suite::by_name(name, 8);
+      SplitOptions opts;
+      opts.num_clocks = n;
+      const auto r = allocate_split(*b.graph, *b.schedule, opts);
+      // finalize() ran validate(): lifetimes compatible under the latch
+      // rule, partitions homogeneous. Re-run for good measure.
+      EXPECT_NO_THROW(r.synthesis.binding->validate()) << name << " n=" << n;
+    }
+  }
+}
+
+TEST(SplitTest, NoTransfersInserted) {
+  const auto b = suite::hal(8);
+  SplitOptions opts;
+  opts.num_clocks = 2;
+  const auto r = allocate_split(*b.graph, *b.schedule, opts);
+  EXPECT_EQ(r.synthesis.graph->num_nodes(), b.graph->num_nodes());
+}
+
+TEST(StyleLabelTest, PaperRowNames) {
+  EXPECT_EQ(style_label(DesignStyle::ConventionalNonGated, 1),
+            "Conven. Alloc. (Non-Gated Clock)");
+  EXPECT_EQ(style_label(DesignStyle::ConventionalGated, 1),
+            "Conven. Alloc. (Gated Clock)");
+  EXPECT_EQ(style_label(DesignStyle::MultiClock, 1), "1 Clock");
+  EXPECT_EQ(style_label(DesignStyle::MultiClock, 3), "3 Clocks");
+}
+
+TEST(SynthesizeTest, LatchAblationUsesRegisters) {
+  const auto b = suite::facet(8);
+  SynthesisOptions opts;
+  opts.style = DesignStyle::MultiClock;
+  opts.num_clocks = 2;
+  opts.use_latches = false;
+  const auto syn = synthesize(*b.graph, *b.schedule, opts);
+  for (const auto& su : syn.alloc.binding->storage()) {
+    EXPECT_EQ(su.kind, alloc::StorageKind::Register);
+  }
+  for (const auto& c : syn.design->netlist.components()) {
+    EXPECT_NE(c.kind, rtl::CompKind::Latch);
+  }
+}
+
+TEST(SynthesizeTest, MultiClockDesignHasPhasedStorage) {
+  const auto b = suite::hal(8);
+  SynthesisOptions opts;
+  opts.style = DesignStyle::MultiClock;
+  opts.num_clocks = 3;
+  const auto syn = synthesize(*b.graph, *b.schedule, opts);
+  std::set<int> phases;
+  for (const auto& c : syn.design->netlist.components()) {
+    if (rtl::is_storage(c.kind)) phases.insert(c.clock_phase);
+  }
+  EXPECT_EQ(phases.size(), 3u);
+}
+
+TEST(SynthesizeTest, LatchedControlOnlyForMultiClock) {
+  const auto b = suite::hal(8);
+  SynthesisOptions opts;
+  opts.style = DesignStyle::MultiClock;
+  opts.num_clocks = 1;
+  const auto syn1 = synthesize(*b.graph, *b.schedule, opts);
+  for (const auto& sig : syn1.design->control.signals()) {
+    EXPECT_FALSE(sig.latched);
+  }
+  opts.num_clocks = 2;
+  const auto syn2 = synthesize(*b.graph, *b.schedule, opts);
+  bool any_latched = false;
+  for (const auto& sig : syn2.design->control.signals()) {
+    any_latched |= sig.latched;
+  }
+  EXPECT_TRUE(any_latched);
+}
+
+TEST(SynthesizeTest, StatsMatchBinding) {
+  const auto b = suite::biquad(8);
+  SynthesisOptions opts;
+  opts.style = DesignStyle::MultiClock;
+  opts.num_clocks = 2;
+  const auto syn = synthesize(*b.graph, *b.schedule, opts);
+  EXPECT_EQ(syn.design->stats.num_memory_cells,
+            syn.alloc.binding->num_memory_cells());
+  EXPECT_EQ(syn.design->stats.num_mux_inputs,
+            syn.alloc.binding->num_mux_inputs());
+  EXPECT_EQ(syn.design->stats.num_alus,
+            static_cast<int>(syn.alloc.binding->func_units().size()));
+  EXPECT_EQ(syn.design->stats.num_clocks, 2);
+}
+
+}  // namespace
+}  // namespace mcrtl::core

@@ -1,0 +1,220 @@
+// Unit tests for the schedulers: ASAP, ALAP, list, force-directed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dfg/random_graph.hpp"
+#include "dfg/schedule.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::dfg {
+namespace {
+
+Graph diamond() {
+  // a -> n1 -> n3 ; a -> n2 -> n3
+  Graph g("diamond", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const ValueId x = g.add_op(Op::Add, a, b, "x");
+  const ValueId y = g.add_op(Op::Sub, a, b, "y");
+  const ValueId z = g.add_op(Op::Mul, x, y, "z");
+  g.mark_output(z);
+  return g;
+}
+
+TEST(ScheduleTest, AsapRespectsPrecedence) {
+  const Graph g = diamond();
+  const Schedule s = schedule_asap(g);
+  s.validate();
+  EXPECT_EQ(s.num_steps(), 2);
+  EXPECT_EQ(s.step(NodeId(0)), 1);
+  EXPECT_EQ(s.step(NodeId(1)), 1);
+  EXPECT_EQ(s.step(NodeId(2)), 2);
+}
+
+TEST(ScheduleTest, AlapPushesLate) {
+  const Graph g = diamond();
+  const Schedule s = schedule_alap(g, 5);
+  s.validate();
+  EXPECT_EQ(s.step(NodeId(2)), 5);
+  EXPECT_EQ(s.step(NodeId(0)), 4);
+  EXPECT_EQ(s.step(NodeId(1)), 4);
+}
+
+TEST(ScheduleTest, AlapRejectsShortHorizon) {
+  const Graph g = diamond();
+  EXPECT_THROW(schedule_alap(g, 1), Error);
+}
+
+TEST(ScheduleTest, ValidateCatchesUnscheduled) {
+  const Graph g = diamond();
+  Schedule s(g);
+  s.set_step(NodeId(0), 1);
+  EXPECT_THROW(s.validate(), ValidationError);
+}
+
+TEST(ScheduleTest, ValidateCatchesPrecedenceViolation) {
+  const Graph g = diamond();
+  Schedule s(g);
+  s.set_step(NodeId(0), 2);
+  s.set_step(NodeId(1), 1);
+  s.set_step(NodeId(2), 2);  // reads n0's output in the same step
+  EXPECT_THROW(s.validate(), ValidationError);
+}
+
+TEST(ScheduleTest, NodesInStep) {
+  const Graph g = diamond();
+  const Schedule s = schedule_asap(g);
+  EXPECT_EQ(s.nodes_in_step(1).size(), 2u);
+  EXPECT_EQ(s.nodes_in_step(2).size(), 1u);
+  EXPECT_TRUE(s.nodes_in_step(3).empty());
+}
+
+TEST(ScheduleTest, StepsAreOneBased) {
+  const Graph g = diamond();
+  Schedule s(g);
+  EXPECT_THROW(s.set_step(NodeId(0), 0), Error);
+}
+
+TEST(ListScheduleTest, HonoursResourceLimits) {
+  Rng rng(3);
+  RandomGraphConfig cfg;
+  cfg.num_inputs = 4;
+  cfg.num_nodes = 30;
+  const Graph g = random_graph(rng, cfg);
+
+  ResourceLimits limits;
+  limits.default_limit = 2;
+  limits.per_op[Op::Mul] = 1;
+  const Schedule s = schedule_list(g, limits);
+  s.validate();
+
+  for (int t = 1; t <= s.num_steps(); ++t) {
+    std::map<Op, int> used;
+    for (NodeId n : s.nodes_in_step(t)) ++used[g.node(n).op];
+    for (const auto& [op, cnt] : used) {
+      EXPECT_LE(cnt, limits.limit_for(op)) << "step " << t << " op " << op_name(op);
+    }
+  }
+}
+
+TEST(ListScheduleTest, UnlimitedResourcesGiveAsapLength) {
+  Rng rng(4);
+  RandomGraphConfig cfg;
+  cfg.num_nodes = 25;
+  const Graph g = random_graph(rng, cfg);
+  ResourceLimits limits;
+  limits.default_limit = 1000;
+  const Schedule s = schedule_list(g, limits);
+  EXPECT_EQ(s.num_steps(), static_cast<int>(g.critical_path_length()));
+}
+
+TEST(ForceDirectedTest, ValidWithinHorizon) {
+  Rng rng(5);
+  RandomGraphConfig cfg;
+  cfg.num_nodes = 20;
+  const Graph g = random_graph(rng, cfg);
+  const int horizon = static_cast<int>(g.critical_path_length()) + 3;
+  const Schedule s = schedule_force_directed(g, horizon);
+  s.validate();
+  EXPECT_LE(s.num_steps(), horizon);
+}
+
+TEST(ForceDirectedTest, ReducesPeakConcurrencyVsAsap) {
+  // FDS at a relaxed horizon should not *increase* the peak same-op
+  // concurrency relative to ASAP in the common case; check on many seeds
+  // and require it to win or tie on average.
+  int fds_total = 0, asap_total = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 100);
+    RandomGraphConfig cfg;
+    cfg.num_nodes = 24;
+    const Graph g = random_graph(rng, cfg);
+    const int horizon = static_cast<int>(g.critical_path_length()) + 4;
+
+    auto peak = [&](const Schedule& s) {
+      int best = 0;
+      for (int t = 1; t <= s.num_steps(); ++t) {
+        std::map<Op, int> used;
+        for (NodeId n : s.nodes_in_step(t)) ++used[g.node(n).op];
+        for (const auto& [op, cnt] : used) {
+          (void)op;
+          best = std::max(best, cnt);
+        }
+      }
+      return best;
+    };
+    fds_total += peak(schedule_force_directed(g, horizon));
+    asap_total += peak(schedule_asap(g));
+  }
+  EXPECT_LE(fds_total, asap_total);
+}
+
+TEST(PartitionBalancedTest, ValidAndHonoursLimits) {
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomGraphConfig cfg;
+    cfg.num_nodes = 26;
+    const Graph g = random_graph(rng, cfg);
+    ResourceLimits limits;
+    limits.default_limit = 2;
+    for (int n : {1, 2, 3}) {
+      const Schedule s = schedule_partition_balanced(g, limits, n);
+      s.validate();
+      for (int t = 1; t <= s.num_steps(); ++t) {
+        std::map<Op, int> used;
+        for (NodeId nid : s.nodes_in_step(t)) ++used[g.node(nid).op];
+        for (const auto& [op, cnt] : used) EXPECT_LE(cnt, limits.limit_for(op));
+      }
+    }
+  }
+}
+
+TEST(PartitionBalancedTest, SingleClockMatchesListLength) {
+  Rng rng(43);
+  RandomGraphConfig cfg;
+  cfg.num_nodes = 20;
+  const Graph g = random_graph(rng, cfg);
+  ResourceLimits limits;
+  limits.default_limit = 2;
+  // With one clock there is nothing to balance: behaves like plain list
+  // scheduling (possibly different tie-breaks, same step count).
+  EXPECT_EQ(schedule_partition_balanced(g, limits, 1).num_steps(),
+            schedule_list(g, limits).num_steps());
+}
+
+TEST(PartitionBalancedTest, SpreadsOpClassAcrossResidues) {
+  // 6 independent multiplies with limit 2/step: the plain list schedule
+  // stacks them into steps 1-3 (residues of one or two classes); the
+  // balanced scheduler for n=3 must leave no residue class empty.
+  Graph g("muls", 8);
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  for (int i = 0; i < 6; ++i) {
+    g.mark_output(g.add_op(Op::Mul, a, b, "m" + std::to_string(i)));
+  }
+  ResourceLimits limits;
+  limits.per_op[Op::Mul] = 2;
+  limits.default_limit = 2;
+  const Schedule s = schedule_partition_balanced(g, limits, 3);
+  std::map<int, int> per_residue;
+  for (const auto& n : g.nodes()) ++per_residue[s.step(n.id) % 3];
+  EXPECT_EQ(per_residue.size(), 3u);
+  for (const auto& [res, cnt] : per_residue) {
+    (void)res;
+    EXPECT_EQ(cnt, 2);  // perfectly balanced
+  }
+}
+
+TEST(ScheduleTest, ExtendForGrowsTable) {
+  Graph g = diamond();
+  Schedule s = schedule_asap(g);
+  const ValueId extra = g.add_unary(Op::Neg, g.node(NodeId(2)).output);
+  (void)extra;
+  s.extend_for(g);
+  s.set_step(NodeId(3), 3);
+  s.validate();
+}
+
+}  // namespace
+}  // namespace mcrtl::dfg

@@ -1,0 +1,155 @@
+// Unit tests for the design-space explorer and the experiment report
+// writers.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "power/report.hpp"
+#include "suite/benchmarks.hpp"
+
+namespace mcrtl::core {
+namespace {
+
+ExplorationResult explore_small(const char* name, ExplorerConfig cfg = {}) {
+  const auto b = suite::by_name(name, 4);
+  cfg.computations = 300;
+  return explore(*b.graph, *b.schedule, cfg);
+}
+
+TEST(ExplorerTest, EnumeratesExpectedPointCount) {
+  ExplorerConfig cfg;
+  cfg.max_clocks = 3;
+  cfg.include_conventional = true;
+  cfg.include_split = true;
+  const auto r = explore_small("facet", cfg);
+  // 2 conventional + n=1 integrated + (n=2,3) x (integrated, split).
+  EXPECT_EQ(r.points.size(), 2u + 1u + 2u * 2u);
+}
+
+TEST(ExplorerTest, PointsSortedByPower) {
+  const auto r = explore_small("hal");
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_LE(r.points[i - 1].power.total, r.points[i].power.total);
+  }
+}
+
+TEST(ExplorerTest, ParetoFrontierIsConsistent) {
+  const auto r = explore_small("biquad");
+  int pareto_count = 0;
+  for (const auto& p : r.points) {
+    pareto_count += p.pareto ? 1 : 0;
+    if (!p.pareto) {
+      // Some point must dominate it.
+      const bool dominated = std::any_of(
+          r.points.begin(), r.points.end(), [&](const ExplorationPoint& q) {
+            return (q.power.total < p.power.total &&
+                    q.area.total <= p.area.total) ||
+                   (q.power.total <= p.power.total &&
+                    q.area.total < p.area.total);
+          });
+      EXPECT_TRUE(dominated) << p.label;
+    }
+  }
+  EXPECT_GE(pareto_count, 1);
+  // The global power minimum is always on the frontier.
+  EXPECT_TRUE(r.best_power().pareto);
+}
+
+TEST(ExplorerTest, BestUnderAreaBudget) {
+  const auto r = explore_small("facet");
+  // Unbounded budget: same as best_power.
+  const auto unbounded = r.best_under_area(1e12);
+  ASSERT_TRUE(unbounded.has_value());
+  EXPECT_EQ(unbounded->label, r.best_power().label);
+  // Impossible budget: nothing fits.
+  EXPECT_FALSE(r.best_under_area(1.0).has_value());
+  // A budget between min and max area excludes at least the largest point.
+  double min_area = 1e18, max_area = 0;
+  for (const auto& p : r.points) {
+    min_area = std::min(min_area, p.area.total);
+    max_area = std::max(max_area, p.area.total);
+  }
+  const auto mid = r.best_under_area((min_area + max_area) / 2);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_LE(mid->area.total, (min_area + max_area) / 2);
+}
+
+TEST(ExplorerTest, MultiClockWinsOnPaperBenchmarks) {
+  // The paper's conclusion as an explorer property: the best point is a
+  // multi-clock configuration, not a conventional one.
+  for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+    const auto r = explore_small(name);
+    EXPECT_EQ(r.best_power().options.style, DesignStyle::MultiClock) << name;
+    EXPECT_GT(r.best_power().options.num_clocks, 1) << name;
+  }
+}
+
+TEST(ExplorerTest, DffVariantIncludedOnDemand) {
+  ExplorerConfig cfg;
+  cfg.max_clocks = 2;
+  cfg.include_dff_variant = true;
+  const auto r = explore_small("facet", cfg);
+  const bool any_dff = std::any_of(
+      r.points.begin(), r.points.end(), [](const ExplorationPoint& p) {
+        return p.label.find("dff") != std::string::npos;
+      });
+  EXPECT_TRUE(any_dff);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  const auto r = explore_small("facet");
+  std::vector<power::ExperimentRecord> recs;
+  for (const auto& p : r.points) {
+    power::ExperimentRecord rec;
+    rec.experiment = "explorer_facet";
+    rec.design = p.label;
+    rec.benchmark = "facet";
+    rec.width = 4;
+    rec.computations = 300;
+    rec.power = p.power;
+    rec.area = p.area;
+    rec.stats = p.stats;
+    recs.push_back(rec);
+  }
+  const std::string csv = power::to_csv(recs);
+  // Header + one line per record.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(recs.size()) + 1);
+  EXPECT_NE(csv.find("power_total_mw"), std::string::npos);
+  EXPECT_NE(csv.find("explorer_facet"), std::string::npos);
+}
+
+TEST(ReportTest, CsvEscapesCommas) {
+  power::ExperimentRecord rec;
+  rec.experiment = "e";
+  rec.design = "a,b";
+  rec.stats.alu_summary = "1(+), 2(*)";
+  const std::string csv = power::to_csv({rec});
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"1(+), 2(*)\""), std::string::npos);
+}
+
+TEST(ReportTest, JsonIsStructurallySane) {
+  power::ExperimentRecord rec;
+  rec.experiment = "exp";
+  rec.design = "3 Clocks";
+  rec.benchmark = "hal";
+  rec.power.total = 3.5;
+  const std::string js = power::to_json({rec, rec});
+  EXPECT_EQ(js.front(), '[');
+  EXPECT_EQ(std::count(js.begin(), js.end(), '{'),
+            std::count(js.begin(), js.end(), '}'));
+  EXPECT_NE(js.find("\"power_mw\""), std::string::npos);
+  EXPECT_NE(js.find("3.500000"), std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapesSpecials) {
+  power::ExperimentRecord rec;
+  rec.design = "quote\" back\\slash\nnewline";
+  const std::string js = power::to_json({rec});
+  EXPECT_NE(js.find("quote\\\""), std::string::npos);
+  EXPECT_NE(js.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(js.find("\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrtl::core

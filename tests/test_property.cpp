@@ -1,0 +1,158 @@
+// Property-based tests over random DFGs: the synthesis pipeline must hold
+// its invariants for arbitrary valid behaviours, not just the paper's
+// benchmarks. Parameterized over (seed, clock count, method).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/synthesizer.hpp"
+#include "dfg/random_graph.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/stimulus.hpp"
+#include "util/rng.hpp"
+
+namespace mcrtl {
+namespace {
+
+struct PropertyParam {
+  std::uint64_t seed;
+  int num_clocks;
+  core::AllocMethod method;
+};
+
+class RandomGraphProperty : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(RandomGraphProperty, SynthesisPreservesFunctionAndInvariants) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_inputs = 2 + static_cast<unsigned>(rng.next_below(4));
+  cfg.num_nodes = 6 + static_cast<unsigned>(rng.next_below(24));
+  cfg.width = 4 + static_cast<unsigned>(rng.next_below(9));
+  const dfg::Graph g = dfg::random_graph(rng, cfg);
+  const dfg::Schedule s = dfg::schedule_asap(g);
+
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::MultiClock;
+  opts.num_clocks = p.num_clocks;
+  opts.method = p.method;
+  const auto syn = core::synthesize(g, s, opts);
+
+  // 1. Functional equivalence on a random stream.
+  const auto stream = sim::uniform_stream(rng, g.inputs().size(), 60, cfg.width);
+  const auto rep = sim::check_equivalence(*syn.design, g, stream);
+  ASSERT_TRUE(rep.equivalent) << rep.detail;
+
+  // 2. Binding invariants (partition homogeneity, no FU double-booking).
+  const auto& binding = *syn.alloc.binding;
+  std::set<std::pair<unsigned, int>> busy;
+  for (const auto& fu : binding.func_units()) {
+    for (dfg::NodeId op : fu.ops) {
+      EXPECT_TRUE(busy.emplace(fu.index, syn.alloc.schedule->step(op)).second);
+      if (p.num_clocks > 1) {
+        EXPECT_EQ(fu.partition,
+                  binding.partition_of_step(syn.alloc.schedule->step(op)));
+      }
+    }
+  }
+
+  // 3. Every storage unit's clock phase matches its partition in the
+  // netlist.
+  for (std::size_t i = 0; i < binding.storage().size(); ++i) {
+    const auto& comp = syn.design->netlist.comp(syn.design->storage_comp[i]);
+    EXPECT_EQ(comp.clock_phase, binding.storage()[i].partition);
+  }
+
+  // 4. Design statistics are internally consistent.
+  EXPECT_EQ(syn.design->stats.num_memory_cells,
+            static_cast<int>(binding.storage().size()));
+  int muxes = 0;
+  for (const auto& c : syn.design->netlist.components()) {
+    muxes += c.kind == rtl::CompKind::Mux ? 1 : 0;
+  }
+  EXPECT_EQ(muxes, syn.design->stats.num_muxes);
+}
+
+std::vector<PropertyParam> property_cases() {
+  std::vector<PropertyParam> out;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (int n : {1, 2, 3, 4}) {
+      out.push_back({seed, n, core::AllocMethod::Integrated});
+      if (n > 1) out.push_back({seed, n, core::AllocMethod::Split});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomGraphProperty,
+                         ::testing::ValuesIn(property_cases()),
+                         [](const ::testing::TestParamInfo<PropertyParam>& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_n" + std::to_string(info.param.num_clocks) +
+                                  (info.param.method == core::AllocMethod::Split
+                                       ? "_split"
+                                       : "_int");
+                         });
+
+class WidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WidthSweep, EquivalenceAcrossWidths) {
+  const unsigned width = GetParam();
+  Rng rng(0xABCD + width);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_nodes = 14;
+  cfg.width = width;
+  const dfg::Graph g = dfg::random_graph(rng, cfg);
+  const dfg::Schedule s = dfg::schedule_asap(g);
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::MultiClock;
+  opts.num_clocks = 2;
+  const auto syn = core::synthesize(g, s, opts);
+  const auto stream = sim::uniform_stream(rng, g.inputs().size(), 40, width);
+  const auto rep = sim::check_equivalence(*syn.design, g, stream);
+  EXPECT_TRUE(rep.equivalent) << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(1u, 2u, 4u, 7u, 8u, 13u, 16u, 24u,
+                                           32u, 48u, 64u));
+
+class SchedulerSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SchedulerSweep, AllSchedulersFeedSynthesis) {
+  // Any valid schedule (ASAP, ALAP, list, FDS) must synthesize and stay
+  // functionally correct under the multi-clock scheme.
+  const auto& [seed, n] = GetParam();
+  Rng rng(seed);
+  dfg::RandomGraphConfig cfg;
+  cfg.num_nodes = 16;
+  const dfg::Graph g = dfg::random_graph(rng, cfg);
+
+  std::vector<dfg::Schedule> schedules;
+  schedules.push_back(dfg::schedule_asap(g));
+  const int horizon = static_cast<int>(g.critical_path_length()) + 2;
+  schedules.push_back(dfg::schedule_alap(g, horizon));
+  dfg::ResourceLimits limits;
+  limits.default_limit = 2;
+  schedules.push_back(dfg::schedule_list(g, limits));
+  schedules.push_back(dfg::schedule_force_directed(g, horizon));
+
+  for (const auto& s : schedules) {
+    core::SynthesisOptions opts;
+    opts.style = core::DesignStyle::MultiClock;
+    opts.num_clocks = n;
+    const auto syn = core::synthesize(g, s, opts);
+    Rng srng(seed ^ 0x5555);
+    const auto stream = sim::uniform_stream(srng, g.inputs().size(), 30, 8);
+    const auto rep = sim::check_equivalence(*syn.design, g, stream);
+    EXPECT_TRUE(rep.equivalent) << rep.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerSweep,
+                         ::testing::Combine(::testing::Values(31u, 32u, 33u),
+                                            ::testing::Values(2, 3)));
+
+}  // namespace
+}  // namespace mcrtl

@@ -1,0 +1,90 @@
+// Unit tests for the per-step power trace.
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "power/trace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+
+namespace mcrtl::power {
+namespace {
+
+PowerTrace run_trace(const suite::Benchmark& b, core::DesignStyle style,
+                     int clocks, std::size_t computations = 200) {
+  core::SynthesisOptions opts;
+  opts.style = style;
+  opts.num_clocks = clocks;
+  const auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+  const auto tech = TechLibrary::cmos08();
+  PowerTrace trace(*syn.design, tech);
+  sim::Simulator s(*syn.design);
+  s.set_observer([&](std::uint64_t step, const std::vector<std::uint64_t>& nets) {
+    trace.record(step, nets);
+  });
+  Rng rng(7);
+  const auto stream = sim::uniform_stream(rng, b.graph->inputs().size(),
+                                          computations, b.graph->width());
+  s.run(stream, b.graph->inputs(), b.graph->outputs());
+  return trace;
+}
+
+TEST(PowerTraceTest, OneEntryPerStep) {
+  const auto b = suite::motivating(8);
+  const auto trace = run_trace(b, core::DesignStyle::ConventionalGated, 1, 10);
+  // period = T+1 = 6 steps per computation.
+  EXPECT_EQ(trace.energy_fj().size(), 60u);
+}
+
+TEST(PowerTraceTest, EnergyNonNegativeAndNonTrivial) {
+  const auto b = suite::hal(8);
+  const auto trace = run_trace(b, core::DesignStyle::ConventionalGated, 1);
+  for (double e : trace.energy_fj()) EXPECT_GE(e, 0.0);
+  EXPECT_GT(trace.mean_fj(), 0.0);
+  EXPECT_GE(trace.peak_fj(), trace.mean_fj());
+  EXPECT_GE(trace.crest(), 1.0);
+}
+
+TEST(PowerTraceTest, MultiClockReducesMeanSwitchingEnergy) {
+  const auto b = suite::hal(4);
+  const auto conv = run_trace(b, core::DesignStyle::ConventionalGated, 1);
+  const auto mc3 = run_trace(b, core::DesignStyle::MultiClock, 3);
+  EXPECT_LT(mc3.mean_fj(), conv.mean_fj());
+}
+
+TEST(PowerTraceTest, ProfileRendersOneRowPerStep) {
+  const auto b = suite::facet(4);
+  const auto trace = run_trace(b, core::DesignStyle::MultiClock, 2, 50);
+  const std::string prof = trace.render_period_profile();
+  EXPECT_NE(prof.find("step  1 (CLK_1)"), std::string::npos);
+  EXPECT_NE(prof.find("fJ"), std::string::npos);
+  // row count == period
+  EXPECT_EQ(std::count(prof.begin(), prof.end(), '\n'),
+            static_cast<long>(6));
+}
+
+TEST(PowerTraceTest, ConstantInputsGiveQuieterTrace) {
+  const auto b = suite::motivating(8);
+  core::SynthesisOptions opts;
+  opts.style = core::DesignStyle::ConventionalGated;
+  const auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+  const auto tech = TechLibrary::cmos08();
+
+  auto run_with = [&](const sim::InputStream& stream) {
+    PowerTrace trace(*syn.design, tech);
+    sim::Simulator s(*syn.design);
+    s.set_observer(
+        [&](std::uint64_t step, const std::vector<std::uint64_t>& nets) {
+          trace.record(step, nets);
+        });
+    s.run(stream, b.graph->inputs(), b.graph->outputs());
+    return trace.mean_fj();
+  };
+  Rng r1(9), r2(9);
+  const auto uni = sim::uniform_stream(r1, b.graph->inputs().size(), 100, 8);
+  const auto con = sim::constant_stream(r2, b.graph->inputs().size(), 100, 8);
+  EXPECT_LT(run_with(con), run_with(uni));
+}
+
+}  // namespace
+}  // namespace mcrtl::power

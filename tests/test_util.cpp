@@ -1,0 +1,196 @@
+// Unit tests for src/util: strong ids, rng, bit utilities, strings, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcrtl {
+namespace {
+
+using TestId = StrongId<struct TestTag>;
+using OtherId = StrongId<struct OtherTag>;
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  TestId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TestId::invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  TestId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(TestId(1), TestId(2));
+  EXPECT_EQ(TestId(7), TestId(7));
+  EXPECT_NE(TestId(7), TestId(8));
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<TestId> s;
+  s.insert(TestId(1));
+  s.insert(TestId(1));
+  s.insert(TestId(2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TestId, OtherId>);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBitsMasked) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) EXPECT_LE(r.next_bits(5), 31u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng r(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitsTest, MaskValues) {
+  EXPECT_EQ(bit_mask(1), 1u);
+  EXPECT_EQ(bit_mask(4), 0xFu);
+  EXPECT_EQ(bit_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitsTest, TruncateDropsHighBits) {
+  EXPECT_EQ(truncate(0x1F, 4), 0xFu);
+  EXPECT_EQ(truncate(0x10, 4), 0u);
+}
+
+TEST(BitsTest, Hamming) {
+  EXPECT_EQ(hamming(0, 0), 0u);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hamming(~std::uint64_t{0}, 0), 64u);
+}
+
+TEST(BitsTest, SignedRoundTrip) {
+  for (int v = -8; v <= 7; ++v) {
+    EXPECT_EQ(to_signed(from_signed(v, 4), 4), v) << v;
+  }
+}
+
+TEST(BitsTest, SignExtension) {
+  EXPECT_EQ(to_signed(0xF, 4), -1);
+  EXPECT_EQ(to_signed(0x8, 4), -8);
+  EXPECT_EQ(to_signed(0x7, 4), 7);
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(str_format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(str_format("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, Identifier) {
+  EXPECT_TRUE(is_identifier("abc_1"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier(""));
+}
+
+TEST(StringsTest, Sanitize) {
+  EXPECT_TRUE(is_identifier(sanitize_identifier("3x y-z")));
+  EXPECT_EQ(sanitize_identifier("ok_name"), "ok_name");
+  EXPECT_TRUE(is_identifier(sanitize_identifier("")));
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"Name", "Val"});
+  t.add_row({"a", "1"});
+  t.add_row({"long", "23"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Name | Val"), std::string::npos);
+  EXPECT_NE(s.find("long |  23"), std::string::npos);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithLocation) {
+  try {
+    MCRTL_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcrtl

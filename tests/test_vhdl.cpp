@@ -1,0 +1,137 @@
+// Unit tests for the VHDL and Verilog emitters.
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "suite/benchmarks.hpp"
+#include "vhdl/emitter.hpp"
+#include "vhdl/verilog.hpp"
+
+namespace mcrtl::vhdl {
+namespace {
+
+rtl::Design make(const suite::Benchmark& b, core::DesignStyle style,
+                 int clocks = 1) {
+  core::SynthesisOptions opts;
+  opts.style = style;
+  opts.num_clocks = clocks;
+  auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+  return std::move(*syn.design);
+}
+
+TEST(VhdlTest, ContainsEntityAndArchitecture) {
+  const auto b = suite::motivating(8);
+  const auto d = make(b, core::DesignStyle::ConventionalGated);
+  const std::string v = emit_vhdl(d);
+  EXPECT_NE(v.find("entity motivating_Conven"), std::string::npos);
+  EXPECT_NE(v.find("architecture rtl of"), std::string::npos);
+  EXPECT_NE(v.find("end architecture;"), std::string::npos);
+}
+
+TEST(VhdlTest, DeclaresAllPrimaryIo) {
+  const auto b = suite::hal(8);
+  const auto d = make(b, core::DesignStyle::MultiClock, 2);
+  const std::string v = emit_vhdl(d);
+  for (const auto& [val, cid] : d.input_ports) {
+    (void)val;
+    EXPECT_NE(v.find(d.netlist.comp(cid).name), std::string::npos);
+  }
+  for (const auto& [val, cid] : d.output_ports) {
+    (void)val;
+    EXPECT_NE(v.find(d.netlist.comp(cid).name), std::string::npos);
+  }
+}
+
+TEST(VhdlTest, MultiClockHasAllPhases) {
+  const auto b = suite::hal(8);
+  const auto d = make(b, core::DesignStyle::MultiClock, 3);
+  const std::string v = emit_vhdl(d);
+  EXPECT_NE(v.find("signal phase1"), std::string::npos);
+  EXPECT_NE(v.find("signal phase2"), std::string::npos);
+  EXPECT_NE(v.find("signal phase3"), std::string::npos);
+}
+
+TEST(VhdlTest, LatchStyleUsesLatchProcesses) {
+  const auto b = suite::facet(8);
+  const auto dl = make(b, core::DesignStyle::MultiClock, 2);
+  const std::string vl = emit_vhdl(dl);
+  EXPECT_NE(vl.find("process(all)"), std::string::npos);  // latch
+  const auto dr = make(b, core::DesignStyle::ConventionalGated);
+  const std::string vr = emit_vhdl(dr);
+  EXPECT_NE(vr.find("rising_edge(clk)"), std::string::npos);  // DFF
+}
+
+TEST(VhdlTest, ControllerTableCoversPeriod) {
+  const auto b = suite::motivating(8);
+  const auto d = make(b, core::DesignStyle::MultiClock, 2);
+  const std::string v = emit_vhdl(d);
+  for (int t = 1; t <= d.clocks.period(); ++t) {
+    EXPECT_NE(v.find("when " + std::to_string(t) + " =>"), std::string::npos);
+  }
+}
+
+TEST(VhdlTest, Deterministic) {
+  const auto b = suite::biquad(8);
+  const auto d1 = make(b, core::DesignStyle::MultiClock, 3);
+  const auto d2 = make(b, core::DesignStyle::MultiClock, 3);
+  EXPECT_EQ(emit_vhdl(d1), emit_vhdl(d2));
+}
+
+TEST(VerilogTest, ContainsModuleAndEndmodule) {
+  const auto b = suite::motivating(8);
+  const auto d = make(b, core::DesignStyle::ConventionalGated);
+  const std::string v = emit_verilog(d);
+  EXPECT_NE(v.find("module motivating_Conven"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("posedge clk"), std::string::npos);
+}
+
+TEST(VerilogTest, MultiClockHasPhases) {
+  const auto b = suite::hal(8);
+  const auto d = make(b, core::DesignStyle::MultiClock, 3);
+  const std::string v = emit_verilog(d);
+  EXPECT_NE(v.find("wire phase1"), std::string::npos);
+  EXPECT_NE(v.find("wire phase3"), std::string::npos);
+  // Latches emitted as level-sensitive always blocks.
+  EXPECT_NE(v.find("always @* if (clk && phase"), std::string::npos);
+}
+
+TEST(VerilogTest, NegativeConstantsAreNegatedLiterals) {
+  const auto b = suite::biquad(8);
+  const auto d = make(b, core::DesignStyle::ConventionalGated);
+  const std::string v = emit_verilog(d);
+  EXPECT_NE(v.find("-8'sd"), std::string::npos);
+}
+
+TEST(VerilogTest, ControllerCaseTablesCoverPeriod) {
+  const auto b = suite::motivating(8);
+  const auto d = make(b, core::DesignStyle::MultiClock, 2);
+  const std::string v = emit_verilog(d);
+  for (int t = 1; t <= d.clocks.period(); ++t) {
+    EXPECT_NE(v.find("      " + std::to_string(t) + ": "), std::string::npos);
+  }
+}
+
+TEST(VerilogTest, DeterministicAndNonTrivialForAllBenchmarks) {
+  for (const auto& name : suite::all_names()) {
+    const auto b = suite::by_name(name, 4);
+    const auto d1 = make(b, core::DesignStyle::MultiClock, 2);
+    const auto d2 = make(b, core::DesignStyle::MultiClock, 2);
+    const std::string v1 = emit_verilog(d1);
+    EXPECT_EQ(v1, emit_verilog(d2)) << name;
+    EXPECT_GT(v1.size(), 800u) << name;
+  }
+}
+
+TEST(VhdlTest, EmitsForEveryBenchmarkAndStyle) {
+  for (const auto& name : suite::all_names()) {
+    const auto b = suite::by_name(name, 4);
+    for (int n = 1; n <= 3; ++n) {
+      const auto d = make(b, core::DesignStyle::MultiClock, n);
+      const std::string v = emit_vhdl(d);
+      EXPECT_GT(v.size(), 1000u) << name << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcrtl::vhdl

@@ -1,0 +1,312 @@
+// mcrtl — command-line front end to the library.
+//
+// Usage:
+//   mcrtl list
+//       List the built-in benchmark behaviours.
+//   mcrtl synth  (<benchmark> | --dfg <file>) [options]
+//       Synthesize, verify equivalence, report power/area and structure.
+//   mcrtl table  (<benchmark> | --dfg <file>) [options]
+//       Run all five paper design styles and print the table row set.
+//   mcrtl emit   (<benchmark> | --dfg <file>) [options]
+//       Write structural VHDL to stdout.
+//   mcrtl dot    (<benchmark> | --dfg <file>) [options]
+//       Write the partition-coloured scheduled DFG in Graphviz format.
+//
+// Options:
+//   --clocks N       number of non-overlapping clocks (default 2)
+//   --width W        datapath bit width for built-in benchmarks (default 4)
+//   --style S        conv | gated | multi (default multi)
+//   --method M       integrated | split (default integrated)
+//   --dff            use D-flip-flops instead of latches (ablation)
+//   --isolation      add hold-mode operand isolation
+//   --computations N simulation length (default 2000)
+//   --seed N         stimulus seed (default 1996)
+//   --csv FILE       also write measured rows as CSV
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/textio.hpp"
+#include "power/estimator.hpp"
+#include "power/report.hpp"
+#include "rtl/analysis.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "vhdl/emitter.hpp"
+#include "vhdl/verilog.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string benchmark;
+  std::string dfg_file;
+  int clocks = 2;
+  unsigned width = 4;
+  std::string style = "multi";
+  std::string method = "integrated";
+  bool dff = false;
+  bool isolation = false;
+  std::size_t computations = 2000;
+  std::uint64_t seed = 1996;
+  std::string csv_file;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcrtl <list|synth|table|emit|emit-verilog|dot> [<benchmark>] "
+               "[--dfg file] [--clocks N] [--width W]\n"
+               "             [--style conv|gated|multi] [--method "
+               "integrated|split] [--dff] [--isolation]\n"
+               "             [--computations N] [--seed N] [--csv file]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& o) {
+  if (argc < 2) return false;
+  o.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--dfg") {
+      const char* v = next();
+      if (!v) return false;
+      o.dfg_file = v;
+    } else if (a == "--clocks") {
+      const char* v = next();
+      if (!v) return false;
+      o.clocks = std::atoi(v);
+    } else if (a == "--width") {
+      const char* v = next();
+      if (!v) return false;
+      o.width = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--style") {
+      const char* v = next();
+      if (!v) return false;
+      o.style = v;
+    } else if (a == "--method") {
+      const char* v = next();
+      if (!v) return false;
+      o.method = v;
+    } else if (a == "--dff") {
+      o.dff = true;
+    } else if (a == "--isolation") {
+      o.isolation = true;
+    } else if (a == "--computations") {
+      const char* v = next();
+      if (!v) return false;
+      o.computations = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      o.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      o.csv_file = v;
+    } else if (!a.empty() && a[0] != '-') {
+      o.benchmark = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Load the behaviour: built-in benchmark or .dfg file.
+struct Loaded {
+  std::unique_ptr<dfg::Graph> graph;
+  std::unique_ptr<dfg::Schedule> schedule;
+  std::string name;
+};
+
+Loaded load(const CliOptions& o) {
+  Loaded l;
+  if (!o.dfg_file.empty()) {
+    std::ifstream in(o.dfg_file);
+    if (!in) throw mcrtl::Error("cannot open " + o.dfg_file);
+    std::ostringstream os;
+    os << in.rdbuf();
+    auto parsed = dfg::parse_dfg(os.str());
+    l.graph = std::move(parsed.graph);
+    if (parsed.schedule) {
+      l.schedule = std::move(parsed.schedule);
+    } else {
+      dfg::ResourceLimits limits;
+      limits.default_limit = 2;
+      l.schedule =
+          std::make_unique<dfg::Schedule>(dfg::schedule_list(*l.graph, limits));
+    }
+    l.name = l.graph->name();
+    return l;
+  }
+  if (o.benchmark.empty()) throw mcrtl::Error("no benchmark or --dfg file given");
+  auto b = suite::by_name(o.benchmark, o.width);
+  l.graph = std::move(b.graph);
+  l.schedule = std::move(b.schedule);
+  l.name = b.name;
+  return l;
+}
+
+core::SynthesisOptions synth_options(const CliOptions& o) {
+  core::SynthesisOptions opts;
+  if (o.style == "conv") {
+    opts.style = core::DesignStyle::ConventionalNonGated;
+  } else if (o.style == "gated") {
+    opts.style = core::DesignStyle::ConventionalGated;
+  } else if (o.style == "multi") {
+    opts.style = core::DesignStyle::MultiClock;
+    opts.num_clocks = o.clocks;
+  } else {
+    throw mcrtl::Error("unknown --style '" + o.style + "'");
+  }
+  if (o.method == "split") {
+    opts.method = core::AllocMethod::Split;
+  } else if (o.method != "integrated") {
+    throw mcrtl::Error("unknown --method '" + o.method + "'");
+  }
+  opts.use_latches = !o.dff;
+  opts.operand_isolation = o.isolation;
+  return opts;
+}
+
+power::ExperimentRecord measure(const Loaded& l,
+                                const core::SynthesisOptions& opts,
+                                const CliOptions& o, bool print_structure) {
+  const auto syn = core::synthesize(*l.graph, *l.schedule, opts);
+  Rng rng(o.seed);
+  const auto stream = sim::uniform_stream(rng, l.graph->inputs().size(),
+                                          o.computations, l.graph->width());
+  const auto rep = sim::check_equivalence(*syn.design, *l.graph, stream);
+  if (!rep.equivalent) throw mcrtl::Error("equivalence failure: " + rep.detail);
+
+  sim::Simulator simulator(*syn.design);
+  const auto res = simulator.run(stream, l.graph->inputs(), l.graph->outputs());
+  const auto tech = power::TechLibrary::cmos08();
+
+  power::ExperimentRecord rec;
+  rec.experiment = "cli";
+  rec.design = syn.design->style_name;
+  rec.benchmark = l.name;
+  rec.width = l.graph->width();
+  rec.computations = o.computations;
+  rec.power = power::estimate_power(*syn.design, res.activity, tech);
+  rec.area = power::estimate_area(*syn.design, tech);
+  rec.stats = syn.design->stats;
+
+  if (print_structure) {
+    std::printf("%s\n", rtl::describe_dpms(*syn.design).c_str());
+    const auto safety = rtl::check_timing_safety(*syn.design);
+    std::printf("timing safety: %s\n",
+                safety.safe ? "OK" : safety.violations[0].c_str());
+  }
+  return rec;
+}
+
+int cmd_list() {
+  for (const auto& name : suite::all_names()) {
+    const auto b = suite::by_name(name, 4);
+    std::printf("%-11s %3zu ops %2d steps  %s\n", name.c_str(),
+                b.graph->num_nodes(), b.schedule->num_steps(),
+                b.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_synth(const CliOptions& o) {
+  const Loaded l = load(o);
+  const auto rec = measure(l, synth_options(o), o, /*print_structure=*/true);
+  std::printf("\npower: %s\narea:  %.0f lambda^2\nALUs %s | %d mem cells | "
+              "%d mux inputs\n",
+              rec.power.to_string().c_str(), rec.area.total,
+              rec.stats.alu_summary.c_str(), rec.stats.num_memory_cells,
+              rec.stats.num_mux_inputs);
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << power::to_csv({rec});
+    std::printf("wrote %s\n", o.csv_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_table(const CliOptions& o) {
+  const Loaded l = load(o);
+  struct Row {
+    core::DesignStyle style;
+    int clocks;
+  };
+  const Row rows[] = {{core::DesignStyle::ConventionalNonGated, 1},
+                      {core::DesignStyle::ConventionalGated, 1},
+                      {core::DesignStyle::MultiClock, 1},
+                      {core::DesignStyle::MultiClock, 2},
+                      {core::DesignStyle::MultiClock, 3}};
+  std::vector<power::ExperimentRecord> recs;
+  TextTable t({"Design", "Power[mW]", "Area[1e6 l^2]", "ALUs", "Mem", "MuxIn"});
+  for (const auto& row : rows) {
+    CliOptions ro = o;
+    ro.style = row.style == core::DesignStyle::MultiClock          ? "multi"
+               : row.style == core::DesignStyle::ConventionalGated ? "gated"
+                                                                   : "conv";
+    ro.clocks = row.clocks;
+    const auto rec = measure(l, synth_options(ro), ro, false);
+    t.add_row({rec.design, format_fixed(rec.power.total, 2),
+               format_fixed(rec.area.total / 1e6, 2), rec.stats.alu_summary,
+               std::to_string(rec.stats.num_memory_cells),
+               std::to_string(rec.stats.num_mux_inputs)});
+    recs.push_back(rec);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << power::to_csv(recs);
+    std::printf("wrote %s\n", o.csv_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_emit(const CliOptions& o, bool verilog) {
+  const Loaded l = load(o);
+  const auto syn = core::synthesize(*l.graph, *l.schedule, synth_options(o));
+  std::fputs(verilog ? vhdl::emit_verilog(*syn.design).c_str()
+                     : vhdl::emit_vhdl(*syn.design).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_dot(const CliOptions& o) {
+  const Loaded l = load(o);
+  std::fputs(dfg::to_dot(*l.schedule, o.style == "multi" ? o.clocks : 1).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o;
+  if (!parse_args(argc, argv, o)) return usage();
+  try {
+    if (o.command == "list") return cmd_list();
+    if (o.command == "synth") return cmd_synth(o);
+    if (o.command == "table") return cmd_table(o);
+    if (o.command == "emit") return cmd_emit(o, false);
+    if (o.command == "emit-verilog") return cmd_emit(o, true);
+    if (o.command == "dot") return cmd_dot(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
