@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activity_binding.dir/bench_activity_binding.cpp.o"
+  "CMakeFiles/bench_activity_binding.dir/bench_activity_binding.cpp.o.d"
+  "bench_activity_binding"
+  "bench_activity_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activity_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

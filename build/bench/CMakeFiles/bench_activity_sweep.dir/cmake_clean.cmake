@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activity_sweep.dir/bench_activity_sweep.cpp.o"
+  "CMakeFiles/bench_activity_sweep.dir/bench_activity_sweep.cpp.o.d"
+  "bench_activity_sweep"
+  "bench_activity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

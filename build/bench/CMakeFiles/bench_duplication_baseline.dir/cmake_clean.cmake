@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duplication_baseline.dir/bench_duplication_baseline.cpp.o"
+  "CMakeFiles/bench_duplication_baseline.dir/bench_duplication_baseline.cpp.o.d"
+  "bench_duplication_baseline"
+  "bench_duplication_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duplication_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

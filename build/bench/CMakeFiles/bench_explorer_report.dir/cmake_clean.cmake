@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explorer_report.dir/bench_explorer_report.cpp.o"
+  "CMakeFiles/bench_explorer_report.dir/bench_explorer_report.cpp.o.d"
+  "bench_explorer_report"
+  "bench_explorer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explorer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_clocks.dir/bench_fig2_clocks.cpp.o"
+  "CMakeFiles/bench_fig2_clocks.dir/bench_fig2_clocks.cpp.o.d"
+  "bench_fig2_clocks"
+  "bench_fig2_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

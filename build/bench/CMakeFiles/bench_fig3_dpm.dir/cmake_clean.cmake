@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dpm.dir/bench_fig3_dpm.cpp.o"
+  "CMakeFiles/bench_fig3_dpm.dir/bench_fig3_dpm.cpp.o.d"
+  "bench_fig3_dpm"
+  "bench_fig3_dpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

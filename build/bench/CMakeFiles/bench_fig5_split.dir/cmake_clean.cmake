@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_split.dir/bench_fig5_split.cpp.o"
+  "CMakeFiles/bench_fig5_split.dir/bench_fig5_split.cpp.o.d"
+  "bench_fig5_split"
+  "bench_fig5_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_integrated.dir/bench_fig7_integrated.cpp.o"
+  "CMakeFiles/bench_fig7_integrated.dir/bench_fig7_integrated.cpp.o.d"
+  "bench_fig7_integrated"
+  "bench_fig7_integrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_integrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operand_isolation.dir/bench_operand_isolation.cpp.o"
+  "CMakeFiles/bench_operand_isolation.dir/bench_operand_isolation.cpp.o.d"
+  "bench_operand_isolation"
+  "bench_operand_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operand_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_power_profile.cpp" "bench/CMakeFiles/bench_power_profile.dir/bench_power_profile.cpp.o" "gcc" "bench/CMakeFiles/bench_power_profile.dir/bench_power_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mcrtl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcrtl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcrtl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrtl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mcrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mcrtl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/mcrtl_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

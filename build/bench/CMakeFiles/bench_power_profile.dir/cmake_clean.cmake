@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_profile.dir/bench_power_profile.cpp.o"
+  "CMakeFiles/bench_power_profile.dir/bench_power_profile.cpp.o.d"
+  "bench_power_profile"
+  "bench_power_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

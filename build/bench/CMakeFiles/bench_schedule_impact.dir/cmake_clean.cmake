@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule_impact.dir/bench_schedule_impact.cpp.o"
+  "CMakeFiles/bench_schedule_impact.dir/bench_schedule_impact.cpp.o.d"
+  "bench_schedule_impact"
+  "bench_schedule_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

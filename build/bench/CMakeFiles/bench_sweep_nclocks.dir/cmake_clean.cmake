@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_nclocks.dir/bench_sweep_nclocks.cpp.o"
+  "CMakeFiles/bench_sweep_nclocks.dir/bench_sweep_nclocks.cpp.o.d"
+  "bench_sweep_nclocks"
+  "bench_sweep_nclocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_nclocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_facet.dir/bench_table1_facet.cpp.o"
+  "CMakeFiles/bench_table1_facet.dir/bench_table1_facet.cpp.o.d"
+  "bench_table1_facet"
+  "bench_table1_facet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_facet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hal.dir/bench_table2_hal.cpp.o"
+  "CMakeFiles/bench_table2_hal.dir/bench_table2_hal.cpp.o.d"
+  "bench_table2_hal"
+  "bench_table2_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

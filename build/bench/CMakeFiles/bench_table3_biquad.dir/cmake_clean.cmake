@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_biquad.dir/bench_table3_biquad.cpp.o"
+  "CMakeFiles/bench_table3_biquad.dir/bench_table3_biquad.cpp.o.d"
+  "bench_table3_biquad"
+  "bench_table3_biquad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_biquad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

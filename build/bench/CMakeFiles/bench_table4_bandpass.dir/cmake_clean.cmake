@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bandpass.dir/bench_table4_bandpass.cpp.o"
+  "CMakeFiles/bench_table4_bandpass.dir/bench_table4_bandpass.cpp.o.d"
+  "bench_table4_bandpass"
+  "bench_table4_bandpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bandpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_bench_common.dir/table_common.cpp.o"
+  "CMakeFiles/mcrtl_bench_common.dir/table_common.cpp.o.d"
+  "libmcrtl_bench_common.a"
+  "libmcrtl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

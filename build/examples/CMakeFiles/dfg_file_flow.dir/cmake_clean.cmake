@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_file_flow.dir/dfg_file_flow.cpp.o"
+  "CMakeFiles/dfg_file_flow.dir/dfg_file_flow.cpp.o.d"
+  "dfg_file_flow"
+  "dfg_file_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_file_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

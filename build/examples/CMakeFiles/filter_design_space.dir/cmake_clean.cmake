@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_design_space.dir/filter_design_space.cpp.o"
+  "CMakeFiles/filter_design_space.dir/filter_design_space.cpp.o.d"
+  "filter_design_space"
+  "filter_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

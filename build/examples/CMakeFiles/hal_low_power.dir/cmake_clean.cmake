@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_low_power.dir/hal_low_power.cpp.o"
+  "CMakeFiles/hal_low_power.dir/hal_low_power.cpp.o.d"
+  "hal_low_power"
+  "hal_low_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_low_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

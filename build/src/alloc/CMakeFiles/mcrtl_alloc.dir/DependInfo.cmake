@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/activity.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/activity.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/activity.cpp.o.d"
+  "/root/repo/src/alloc/binding.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/binding.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/binding.cpp.o.d"
+  "/root/repo/src/alloc/conventional.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/conventional.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/conventional.cpp.o.d"
+  "/root/repo/src/alloc/fu_binding.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/fu_binding.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/fu_binding.cpp.o.d"
+  "/root/repo/src/alloc/left_edge.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/left_edge.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/left_edge.cpp.o.d"
+  "/root/repo/src/alloc/lifetime.cpp" "src/alloc/CMakeFiles/mcrtl_alloc.dir/lifetime.cpp.o" "gcc" "src/alloc/CMakeFiles/mcrtl_alloc.dir/lifetime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_alloc.dir/activity.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/activity.cpp.o.d"
+  "CMakeFiles/mcrtl_alloc.dir/binding.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/binding.cpp.o.d"
+  "CMakeFiles/mcrtl_alloc.dir/conventional.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/conventional.cpp.o.d"
+  "CMakeFiles/mcrtl_alloc.dir/fu_binding.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/fu_binding.cpp.o.d"
+  "CMakeFiles/mcrtl_alloc.dir/left_edge.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/left_edge.cpp.o.d"
+  "CMakeFiles/mcrtl_alloc.dir/lifetime.cpp.o"
+  "CMakeFiles/mcrtl_alloc.dir/lifetime.cpp.o.d"
+  "libmcrtl_alloc.a"
+  "libmcrtl_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

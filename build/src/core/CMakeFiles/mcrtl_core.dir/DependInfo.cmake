@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/mcrtl_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/mcrtl_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/integrated.cpp" "src/core/CMakeFiles/mcrtl_core.dir/integrated.cpp.o" "gcc" "src/core/CMakeFiles/mcrtl_core.dir/integrated.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/mcrtl_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/mcrtl_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/split.cpp" "src/core/CMakeFiles/mcrtl_core.dir/split.cpp.o" "gcc" "src/core/CMakeFiles/mcrtl_core.dir/split.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/core/CMakeFiles/mcrtl_core.dir/synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/mcrtl_core.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcrtl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcrtl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mcrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mcrtl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

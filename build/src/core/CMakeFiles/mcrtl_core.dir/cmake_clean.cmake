@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_core.dir/explorer.cpp.o"
+  "CMakeFiles/mcrtl_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/mcrtl_core.dir/integrated.cpp.o"
+  "CMakeFiles/mcrtl_core.dir/integrated.cpp.o.d"
+  "CMakeFiles/mcrtl_core.dir/partition.cpp.o"
+  "CMakeFiles/mcrtl_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mcrtl_core.dir/split.cpp.o"
+  "CMakeFiles/mcrtl_core.dir/split.cpp.o.d"
+  "CMakeFiles/mcrtl_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/mcrtl_core.dir/synthesizer.cpp.o.d"
+  "libmcrtl_core.a"
+  "libmcrtl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

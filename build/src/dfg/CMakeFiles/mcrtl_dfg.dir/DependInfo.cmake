@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/interpreter.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/interpreter.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/interpreter.cpp.o.d"
+  "/root/repo/src/dfg/op.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/op.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/op.cpp.o.d"
+  "/root/repo/src/dfg/random_graph.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/random_graph.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/random_graph.cpp.o.d"
+  "/root/repo/src/dfg/schedule.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/schedule.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/schedule.cpp.o.d"
+  "/root/repo/src/dfg/textio.cpp" "src/dfg/CMakeFiles/mcrtl_dfg.dir/textio.cpp.o" "gcc" "src/dfg/CMakeFiles/mcrtl_dfg.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_dfg.dir/dot.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/graph.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/interpreter.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/op.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/op.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/random_graph.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/random_graph.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/schedule.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/schedule.cpp.o.d"
+  "CMakeFiles/mcrtl_dfg.dir/textio.cpp.o"
+  "CMakeFiles/mcrtl_dfg.dir/textio.cpp.o.d"
+  "libmcrtl_dfg.a"
+  "libmcrtl_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

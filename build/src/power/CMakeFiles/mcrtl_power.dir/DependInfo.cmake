@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/estimator.cpp" "src/power/CMakeFiles/mcrtl_power.dir/estimator.cpp.o" "gcc" "src/power/CMakeFiles/mcrtl_power.dir/estimator.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "src/power/CMakeFiles/mcrtl_power.dir/report.cpp.o" "gcc" "src/power/CMakeFiles/mcrtl_power.dir/report.cpp.o.d"
+  "/root/repo/src/power/tech_library.cpp" "src/power/CMakeFiles/mcrtl_power.dir/tech_library.cpp.o" "gcc" "src/power/CMakeFiles/mcrtl_power.dir/tech_library.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/mcrtl_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/mcrtl_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcrtl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mcrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mcrtl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

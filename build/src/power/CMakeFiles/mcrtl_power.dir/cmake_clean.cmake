@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_power.dir/estimator.cpp.o"
+  "CMakeFiles/mcrtl_power.dir/estimator.cpp.o.d"
+  "CMakeFiles/mcrtl_power.dir/report.cpp.o"
+  "CMakeFiles/mcrtl_power.dir/report.cpp.o.d"
+  "CMakeFiles/mcrtl_power.dir/tech_library.cpp.o"
+  "CMakeFiles/mcrtl_power.dir/tech_library.cpp.o.d"
+  "CMakeFiles/mcrtl_power.dir/trace.cpp.o"
+  "CMakeFiles/mcrtl_power.dir/trace.cpp.o.d"
+  "libmcrtl_power.a"
+  "libmcrtl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/analysis.cpp" "src/rtl/CMakeFiles/mcrtl_rtl.dir/analysis.cpp.o" "gcc" "src/rtl/CMakeFiles/mcrtl_rtl.dir/analysis.cpp.o.d"
+  "/root/repo/src/rtl/builder.cpp" "src/rtl/CMakeFiles/mcrtl_rtl.dir/builder.cpp.o" "gcc" "src/rtl/CMakeFiles/mcrtl_rtl.dir/builder.cpp.o.d"
+  "/root/repo/src/rtl/clock.cpp" "src/rtl/CMakeFiles/mcrtl_rtl.dir/clock.cpp.o" "gcc" "src/rtl/CMakeFiles/mcrtl_rtl.dir/clock.cpp.o.d"
+  "/root/repo/src/rtl/control.cpp" "src/rtl/CMakeFiles/mcrtl_rtl.dir/control.cpp.o" "gcc" "src/rtl/CMakeFiles/mcrtl_rtl.dir/control.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/mcrtl_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/mcrtl_rtl.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/mcrtl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

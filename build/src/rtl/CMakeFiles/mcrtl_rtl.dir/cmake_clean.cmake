@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_rtl.dir/analysis.cpp.o"
+  "CMakeFiles/mcrtl_rtl.dir/analysis.cpp.o.d"
+  "CMakeFiles/mcrtl_rtl.dir/builder.cpp.o"
+  "CMakeFiles/mcrtl_rtl.dir/builder.cpp.o.d"
+  "CMakeFiles/mcrtl_rtl.dir/clock.cpp.o"
+  "CMakeFiles/mcrtl_rtl.dir/clock.cpp.o.d"
+  "CMakeFiles/mcrtl_rtl.dir/control.cpp.o"
+  "CMakeFiles/mcrtl_rtl.dir/control.cpp.o.d"
+  "CMakeFiles/mcrtl_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/mcrtl_rtl.dir/netlist.cpp.o.d"
+  "libmcrtl_rtl.a"
+  "libmcrtl_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

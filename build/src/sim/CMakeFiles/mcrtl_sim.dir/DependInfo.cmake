@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/mcrtl_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/mcrtl_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mcrtl_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mcrtl_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/sim/CMakeFiles/mcrtl_sim.dir/stimulus.cpp.o" "gcc" "src/sim/CMakeFiles/mcrtl_sim.dir/stimulus.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/mcrtl_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/mcrtl_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/mcrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mcrtl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mcrtl_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcrtl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/mcrtl_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/mcrtl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mcrtl_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mcrtl_sim.dir/stimulus.cpp.o"
+  "CMakeFiles/mcrtl_sim.dir/stimulus.cpp.o.d"
+  "CMakeFiles/mcrtl_sim.dir/vcd.cpp.o"
+  "CMakeFiles/mcrtl_sim.dir/vcd.cpp.o.d"
+  "libmcrtl_sim.a"
+  "libmcrtl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

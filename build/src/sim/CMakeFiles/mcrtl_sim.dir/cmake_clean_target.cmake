@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcrtl_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_suite.dir/benchmarks.cpp.o"
+  "CMakeFiles/mcrtl_suite.dir/benchmarks.cpp.o.d"
+  "libmcrtl_suite.a"
+  "libmcrtl_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

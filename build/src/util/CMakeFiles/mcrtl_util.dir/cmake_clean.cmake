@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_util.dir/rng.cpp.o"
+  "CMakeFiles/mcrtl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcrtl_util.dir/strings.cpp.o"
+  "CMakeFiles/mcrtl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mcrtl_util.dir/table.cpp.o"
+  "CMakeFiles/mcrtl_util.dir/table.cpp.o.d"
+  "libmcrtl_util.a"
+  "libmcrtl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_vhdl.dir/emitter.cpp.o"
+  "CMakeFiles/mcrtl_vhdl.dir/emitter.cpp.o.d"
+  "CMakeFiles/mcrtl_vhdl.dir/verilog.cpp.o"
+  "CMakeFiles/mcrtl_vhdl.dir/verilog.cpp.o.d"
+  "libmcrtl_vhdl.a"
+  "libmcrtl_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_binding.dir/test_alloc_binding.cpp.o"
+  "CMakeFiles/test_alloc_binding.dir/test_alloc_binding.cpp.o.d"
+  "test_alloc_binding"
+  "test_alloc_binding.pdb"
+  "test_alloc_binding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_lifetime.dir/test_alloc_lifetime.cpp.o"
+  "CMakeFiles/test_alloc_lifetime.dir/test_alloc_lifetime.cpp.o.d"
+  "test_alloc_lifetime"
+  "test_alloc_lifetime.pdb"
+  "test_alloc_lifetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg_schedule.dir/test_dfg_schedule.cpp.o"
+  "CMakeFiles/test_dfg_schedule.dir/test_dfg_schedule.cpp.o.d"
+  "test_dfg_schedule"
+  "test_dfg_schedule.pdb"
+  "test_dfg_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

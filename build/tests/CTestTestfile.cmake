@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_dfg_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_dfg_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_dfg_interpreter[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc_lifetime[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc_binding[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_vhdl[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_textio[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_activity[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_isolation[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrtl_cli.dir/mcrtl_cli.cpp.o"
+  "CMakeFiles/mcrtl_cli.dir/mcrtl_cli.cpp.o.d"
+  "mcrtl"
+  "mcrtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrtl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
