@@ -2,8 +2,17 @@
 // exports of all measured points (the machine-readable companion to
 // Tables 1-4 and the E10 sweep).
 //
-// Writes: mcrtl_exploration.csv, mcrtl_exploration.json (cwd).
+// Each benchmark is explored twice — serially (jobs = 1) and on the
+// work-stealing pool (jobs = all cores, or --jobs N) — both to measure the
+// parallel speedup and to assert the determinism contract: the two runs
+// must agree bit-for-bit on labels, power, area and Pareto flags.
+//
+// Writes: mcrtl_exploration.csv, mcrtl_exploration.json, BENCH_explorer.json
+// (cwd).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include "core/explorer.hpp"
@@ -11,21 +20,87 @@
 #include "suite/benchmarks.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace mcrtl;
 
-int main() {
-  std::printf("=== explorer: Pareto frontiers of the paper benchmarks ===\n\n");
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool identical(const core::ExplorationResult& a,
+               const core::ExplorationResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const auto& p = a.points[i];
+    const auto& q = b.points[i];
+    if (p.label != q.label || p.pareto != q.pareto ||
+        p.power.total != q.power.total || p.area.total != q.area.total) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;  // auto
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
+  const unsigned resolved_jobs = ThreadPool::resolve_jobs(jobs);
+
+  std::printf("=== explorer: Pareto frontiers of the paper benchmarks "
+              "(%u jobs) ===\n\n",
+              resolved_jobs);
   std::vector<power::ExperimentRecord> records;
+
+  struct BenchTiming {
+    std::string name;
+    std::size_t points = 0;
+    double serial_s = 0;
+    double parallel_s = 0;
+  };
+  std::vector<BenchTiming> timings;
+  const auto wall0 = std::chrono::steady_clock::now();
 
   for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
     const auto b = suite::by_name(name, 4);
     core::ExplorerConfig cfg;
     cfg.max_clocks = 4;
     cfg.computations = 1200;
-    const auto r = core::explore(*b.graph, *b.schedule, cfg);
 
-    std::printf("%s:\n", name);
+    BenchTiming tm;
+    tm.name = name;
+
+    cfg.jobs = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = core::explore(*b.graph, *b.schedule, cfg);
+    tm.serial_s = seconds_since(t0);
+
+    cfg.jobs = static_cast<int>(resolved_jobs);
+    t0 = std::chrono::steady_clock::now();
+    const auto r = core::explore(*b.graph, *b.schedule, cfg);
+    tm.parallel_s = seconds_since(t0);
+    tm.points = r.points.size();
+
+    if (!identical(serial, r)) {
+      std::fprintf(stderr,
+                   "FATAL: %s parallel exploration differs from serial\n",
+                   name);
+      return 1;
+    }
+    timings.push_back(tm);
+
+    std::printf("%s:  (serial %.2fs, %u jobs %.2fs, %.2fx)\n", name,
+                tm.serial_s, resolved_jobs,
+                tm.parallel_s, tm.serial_s / tm.parallel_s);
     TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
     for (const auto& p : r.points) {
       t.add_row({p.label, format_fixed(p.power.total, 2),
@@ -48,7 +123,35 @@ int main() {
 
   std::ofstream("mcrtl_exploration.csv") << power::to_csv(records);
   std::ofstream("mcrtl_exploration.json") << power::to_json(records);
-  std::printf("wrote mcrtl_exploration.csv / .json (%zu records)\n",
-              records.size());
+
+  // Machine-readable perf record for this and future PRs.
+  double serial_total = 0, parallel_total = 0;
+  std::size_t total_points = 0;
+  for (const auto& tm : timings) {
+    serial_total += tm.serial_s;
+    parallel_total += tm.parallel_s;
+    total_points += tm.points;
+  }
+  {
+    std::ofstream js("BENCH_explorer.json");
+    js << "{\n  \"jobs\": " << resolved_jobs << ",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      const auto& tm = timings[i];
+      js << "    {\"name\": \"" << tm.name << "\", \"points\": " << tm.points
+         << ", \"serial_seconds\": " << tm.serial_s
+         << ", \"parallel_seconds\": " << tm.parallel_s
+         << ", \"speedup\": " << tm.serial_s / tm.parallel_s
+         << ", \"points_per_second\": " << tm.points / tm.parallel_s << "}"
+         << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"serial_seconds_total\": " << serial_total
+       << ",\n  \"parallel_seconds_total\": " << parallel_total
+       << ",\n  \"speedup_total\": " << serial_total / parallel_total
+       << ",\n  \"points_per_second_total\": " << total_points / parallel_total
+       << ",\n  \"wall_seconds\": " << seconds_since(wall0) << "\n}\n";
+  }
+  std::printf("wrote mcrtl_exploration.csv / .json (%zu records), "
+              "BENCH_explorer.json (total speedup %.2fx at %u jobs)\n",
+              records.size(), serial_total / parallel_total, resolved_jobs);
   return 0;
 }

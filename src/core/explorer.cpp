@@ -7,6 +7,7 @@
 #include "sim/stimulus.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcrtl::core {
 
@@ -29,35 +30,24 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
   graph.validate();
   sched.validate();
 
+  // The stimulus stream is derived from the seed once, up front, and then
+  // shared read-only by every evaluation — this is what makes the result
+  // independent of how the points are scheduled across workers.
   Rng rng(cfg.seed);
   const auto stream = sim::uniform_stream(rng, graph.inputs().size(),
                                           cfg.computations, graph.width());
   const auto tech = power::TechLibrary::cmos08();
 
-  ExplorationResult result;
-  auto eval = [&](const SynthesisOptions& opts, std::string label) {
-    const auto syn = synthesize(graph, sched, opts);
-    const auto rep = sim::check_equivalence(*syn.design, graph, stream);
-    MCRTL_CHECK_MSG(rep.equivalent,
-                    "explorer produced a non-equivalent design: " << rep.detail);
-    sim::Simulator simulator(*syn.design);
-    const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
-    ExplorationPoint p;
-    p.options = opts;
-    p.label = std::move(label);
-    p.power = power::estimate_power(*syn.design, res.activity, tech,
-                                    cfg.power_params);
-    p.area = power::estimate_area(*syn.design, tech);
-    p.stats = syn.design->stats;
-    result.points.push_back(std::move(p));
-  };
-
+  // Enumerate every configuration first; evaluation writes into the slot
+  // matching this (fixed) order, so the pre-sort point array is identical
+  // for any thread count.
+  std::vector<std::pair<SynthesisOptions, std::string>> configs;
   if (cfg.include_conventional) {
     SynthesisOptions opts;
     opts.style = DesignStyle::ConventionalNonGated;
-    eval(opts, style_label(opts.style, 1));
+    configs.emplace_back(opts, style_label(opts.style, 1));
     opts.style = DesignStyle::ConventionalGated;
-    eval(opts, style_label(opts.style, 1));
+    configs.emplace_back(opts, style_label(opts.style, 1));
   }
   for (int n = 1; n <= cfg.max_clocks; ++n) {
     std::vector<AllocMethod> methods{AllocMethod::Integrated};
@@ -71,15 +61,45 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
         opts.num_clocks = n;
         opts.method = method;
         opts.use_latches = latches;
-        eval(opts,
-             str_format("%d clk / %s / %s", n,
-                        method == AllocMethod::Split ? "split" : "integrated",
-                        latches ? "latch" : "dff"));
+        configs.emplace_back(
+            opts,
+            str_format("%d clk / %s / %s", n,
+                       method == AllocMethod::Split ? "split" : "integrated",
+                       latches ? "latch" : "dff"));
       }
     }
   }
 
-  std::sort(result.points.begin(), result.points.end(),
+  ExplorationResult result;
+  result.points.resize(configs.size());
+  auto eval_point = [&](std::size_t i) {
+    const auto& [opts, label] = configs[i];
+    const auto syn = synthesize(graph, sched, opts);
+    const auto rep = sim::check_equivalence(*syn.design, graph, stream);
+    MCRTL_CHECK_MSG(rep.equivalent,
+                    "explorer produced a non-equivalent design: " << rep.detail);
+    sim::Simulator simulator(*syn.design);
+    const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
+    ExplorationPoint p;
+    p.options = opts;
+    p.label = label;
+    p.power = power::estimate_power(*syn.design, res.activity, tech,
+                                    cfg.power_params);
+    p.area = power::estimate_area(*syn.design, tech);
+    p.stats = syn.design->stats;
+    result.points[i] = std::move(p);
+    if (cfg.on_point) cfg.on_point(result.points[i]);
+  };
+
+  const unsigned jobs = ThreadPool::resolve_jobs(cfg.jobs);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) eval_point(i);
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_for_index(configs.size(), eval_point);
+  }
+
+  std::stable_sort(result.points.begin(), result.points.end(),
             [](const ExplorationPoint& a, const ExplorationPoint& b) {
               if (a.power.total != b.power.total) {
                 return a.power.total < b.power.total;

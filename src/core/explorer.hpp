@@ -9,6 +9,7 @@
 // and can answer "lowest power under an area budget".
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +37,17 @@ struct ExplorerConfig {
   std::size_t computations = 1500;
   std::uint64_t seed = 1;
   power::PowerParams power_params;
+  /// Worker threads for point evaluation. 1 = serial (no pool is created,
+  /// existing callers are unaffected); <= 0 = auto (hardware concurrency).
+  /// The result is bit-identical for every value of `jobs` — see the
+  /// determinism contract on explore().
+  int jobs = 1;
+  /// Optional progress hook, called once per evaluated point *before* the
+  /// final sort (i.e. in no particular order). With jobs > 1 it is invoked
+  /// concurrently from worker threads; the callback must be thread-safe.
+  /// Exceptions thrown here propagate out of explore() like any evaluation
+  /// failure.
+  std::function<void(const ExplorationPoint&)> on_point;
 };
 
 /// Result of an exploration.
@@ -52,6 +64,15 @@ struct ExplorationResult {
 /// Explore `graph`/`sched`. Every point is simulated with the same input
 /// stream and checked equivalent to the golden model (throws on mismatch —
 /// a broken configuration must never be reported as a design point).
+///
+/// Determinism contract: the stimulus stream is derived from `cfg.seed`
+/// once, before any point is evaluated, and shared read-only by all
+/// workers; each configuration writes its measurement into a slot indexed
+/// by its position in the (fixed) enumeration order, and the final
+/// stable sort + Pareto marking run after the join. The returned
+/// ExplorationResult is therefore bit-identical for every `jobs` value.
+/// If several points fail, the exception of the *earliest* configuration
+/// in enumeration order is thrown — the same one a serial run reports.
 ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
                           const ExplorerConfig& cfg = {});
 

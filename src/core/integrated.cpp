@@ -35,11 +35,9 @@ std::vector<NodeId> insert_transfers(dfg::Graph& g, dfg::Schedule& s, int n) {
     const NodeId nid(i);
     const int t = s.step(nid);
     const int target = partition_of_step(t - 1, n);
-    // Collect replacement operands first; Graph is append-only so we build
-    // a fresh node only when something changed... instead we rewrite in
-    // place via the builder-level trick below.
-    const auto& node = g.node(nid);
-    for (unsigned port = 0; port < node.inputs.size(); ++port) {
+    // No reference into g.nodes() may be held across add_node below — it
+    // reallocates the node array. Re-fetch through g.node(nid) every time.
+    for (unsigned port = 0; port < g.node(nid).inputs.size(); ++port) {
       const ValueId v = g.node(nid).inputs[port];
       const dfg::Value& val = g.value(v);
       if (val.kind != ValueKind::Internal) continue;  // inputs/constants stable

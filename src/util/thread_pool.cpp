@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+namespace mcrtl {
+namespace {
+
+// Index of the worker the current thread runs as, or -1 off-pool. Lets
+// submit() from inside a task go to the submitting worker's own queue
+// (LIFO locality) instead of round-robin.
+thread_local int tls_worker_index = -1;
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this, i](std::stop_token st) { worker_loop(i, st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    wake_cv_.notify_all();
+  }
+  // jthread joins on destruction; worker_loop drains every queue first.
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
+
+unsigned ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned ThreadPool::resolve_jobs(int jobs) {
+  return jobs <= 0 ? default_concurrency() : static_cast<unsigned>(jobs);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();  // degenerate pool: run inline
+    return;
+  }
+  std::size_t target;
+  if (tls_worker_pool == this && tls_worker_index >= 0) {
+    target = static_cast<std::size_t>(tls_worker_index);
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->m);
+    queues_[target]->queue.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    wake_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::try_pop(unsigned self, std::function<void()>& task) {
+  Worker& w = *queues_[self];
+  std::lock_guard<std::mutex> lk(w.m);
+  if (w.queue.empty()) return false;
+  task = std::move(w.queue.back());  // own queue: LIFO, cache-warm
+  w.queue.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned self, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    Worker& v = *queues_[(self + off) % n];
+    std::lock_guard<std::mutex> lk(v.m);
+    if (v.queue.empty()) continue;
+    task = std::move(v.queue.front());  // victim queue: FIFO, oldest first
+    v.queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned self, std::stop_token st) {
+  tls_worker_index = static_cast<int>(self);
+  tls_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task) || try_steal(self, task)) {
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_m_);
+    wake_cv_.wait(lk, [&] {
+      return st.stop_requested() ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (st.stop_requested() &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;  // stop only once every queued task has been drained
+    }
+  }
+}
+
+}  // namespace mcrtl

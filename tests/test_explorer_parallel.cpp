@@ -1,0 +1,128 @@
+// The parallel explorer's determinism contract: explore() must return a
+// bit-identical ExplorationResult for every jobs value, and a failure on a
+// worker thread must surface as the same documented exception a serial run
+// throws — never be swallowed by the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/explorer.hpp"
+#include "suite/benchmarks.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcrtl::core {
+namespace {
+
+ExplorerConfig base_config(int jobs) {
+  ExplorerConfig cfg;
+  cfg.max_clocks = 4;
+  cfg.include_dff_variant = true;
+  cfg.computations = 250;
+  cfg.seed = 77;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+// Bit-identical comparison of everything a caller can observe, including
+// the sorted order.
+void expect_identical(const ExplorationResult& a, const ExplorationResult& b,
+                      const char* what) {
+  ASSERT_EQ(a.points.size(), b.points.size()) << what;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const auto& p = a.points[i];
+    const auto& q = b.points[i];
+    EXPECT_EQ(p.label, q.label) << what << " point " << i;
+    EXPECT_EQ(p.pareto, q.pareto) << what << " point " << i;
+    // Exact equality on purpose: the contract is bit-identical, not close.
+    EXPECT_EQ(p.power.total, q.power.total) << what << " point " << i;
+    EXPECT_EQ(p.power.combinational, q.power.combinational)
+        << what << " point " << i;
+    EXPECT_EQ(p.power.storage, q.power.storage) << what << " point " << i;
+    EXPECT_EQ(p.power.clock_tree, q.power.clock_tree)
+        << what << " point " << i;
+    EXPECT_EQ(p.area.total, q.area.total) << what << " point " << i;
+    EXPECT_EQ(p.stats.num_memory_cells, q.stats.num_memory_cells)
+        << what << " point " << i;
+    EXPECT_EQ(p.stats.num_muxes, q.stats.num_muxes) << what << " point " << i;
+    EXPECT_EQ(p.options.num_clocks, q.options.num_clocks)
+        << what << " point " << i;
+    EXPECT_EQ(p.options.use_latches, q.options.use_latches)
+        << what << " point " << i;
+  }
+}
+
+TEST(ExplorerParallelTest, JobsCountDoesNotChangeTheResult) {
+  for (const char* name : {"facet", "hal"}) {
+    const auto b = suite::by_name(name, 4);
+    const auto serial = explore(*b.graph, *b.schedule, base_config(1));
+    const auto two = explore(*b.graph, *b.schedule, base_config(2));
+    const auto eight = explore(*b.graph, *b.schedule, base_config(8));
+    expect_identical(serial, two, name);
+    expect_identical(serial, eight, name);
+  }
+}
+
+TEST(ExplorerParallelTest, AutoJobsMatchesSerial) {
+  const auto b = suite::by_name("biquad", 4);
+  const auto serial = explore(*b.graph, *b.schedule, base_config(1));
+  const auto autod = explore(*b.graph, *b.schedule, base_config(0));
+  expect_identical(serial, autod, "biquad auto-jobs");
+}
+
+TEST(ExplorerParallelTest, OnPointHookSeesEveryConfiguration) {
+  const auto b = suite::by_name("facet", 4);
+  auto cfg = base_config(4);
+  std::atomic<std::size_t> seen{0};
+  cfg.on_point = [&](const ExplorationPoint&) { seen += 1; };
+  const auto r = explore(*b.graph, *b.schedule, cfg);
+  EXPECT_EQ(seen.load(), r.points.size());
+}
+
+TEST(ExplorerParallelTest, WorkerExceptionPropagatesOutOfExplore) {
+  // A failing evaluation on a worker thread must abort explore() with the
+  // original mcrtl::Error, exactly like the serial path — the pool is not
+  // allowed to swallow it. The on_point hook shares the evaluation path's
+  // exception handling, so throwing from it exercises the same channel an
+  // equivalence mismatch would use.
+  const auto b = suite::by_name("facet", 4);
+  for (int jobs : {1, 2, 8}) {
+    auto cfg = base_config(jobs);
+    cfg.on_point = [](const ExplorationPoint& p) {
+      if (p.options.style == DesignStyle::ConventionalGated) {
+        throw Error("injected failure: " + p.label);
+      }
+    };
+    try {
+      explore(*b.graph, *b.schedule, cfg);
+      FAIL() << "explore() should have propagated the worker exception, jobs="
+             << jobs;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("injected failure"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ExplorerParallelTest, EarliestFailingConfigurationWins) {
+  // When several workers fail, the reported error must be the earliest
+  // configuration in enumeration order (what a serial run reports first) —
+  // not whichever worker happened to finish last.
+  const auto b = suite::by_name("facet", 4);
+  auto cfg = base_config(8);
+  cfg.on_point = [](const ExplorationPoint& p) {
+    throw Error("failed: " + p.label);
+  };
+  try {
+    explore(*b.graph, *b.schedule, cfg);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    // The first enumerated configuration is the non-gated conventional one.
+    EXPECT_NE(std::string(e.what()).find("Non-Gated"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace mcrtl::core

@@ -11,6 +11,9 @@
 //       Write structural VHDL to stdout.
 //   mcrtl dot    (<benchmark> | --dfg <file>) [options]
 //       Write the partition-coloured scheduled DFG in Graphviz format.
+//   mcrtl explore (<benchmark> | --dfg <file>) [options]
+//       Design-space exploration: evaluate every configuration up to
+//       --clocks clocks in parallel, print the Pareto-marked table.
 //
 // Options:
 //   --clocks N       number of non-overlapping clocks (default 2)
@@ -22,6 +25,8 @@
 //   --computations N simulation length (default 2000)
 //   --seed N         stimulus seed (default 1996)
 //   --csv FILE       also write measured rows as CSV
+//   --jobs N         worker threads for table/explore (default: all cores;
+//                    results are identical for any N)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/explorer.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
@@ -42,6 +48,7 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "vhdl/emitter.hpp"
 #include "vhdl/verilog.hpp"
 
@@ -62,15 +69,18 @@ struct CliOptions {
   std::size_t computations = 2000;
   std::uint64_t seed = 1996;
   std::string csv_file;
+  int jobs = 0;  // <= 0: auto (hardware concurrency)
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcrtl <list|synth|table|emit|emit-verilog|dot> [<benchmark>] "
+               "usage: mcrtl <list|synth|table|emit|emit-verilog|dot|explore> "
+               "[<benchmark>] "
                "[--dfg file] [--clocks N] [--width W]\n"
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
-               "             [--computations N] [--seed N] [--csv file]\n");
+               "             [--computations N] [--seed N] [--csv file] "
+               "[--jobs N]\n");
   return 2;
 }
 
@@ -118,6 +128,10 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       const char* v = next();
       if (!v) return false;
       o.csv_file = v;
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      o.jobs = std::atoi(v);
     } else if (!a.empty() && a[0] != '-') {
       o.benchmark = a;
     } else {
@@ -253,22 +267,65 @@ int cmd_table(const CliOptions& o) {
                       {core::DesignStyle::MultiClock, 1},
                       {core::DesignStyle::MultiClock, 2},
                       {core::DesignStyle::MultiClock, 3}};
-  std::vector<power::ExperimentRecord> recs;
-  TextTable t({"Design", "Power[mW]", "Area[1e6 l^2]", "ALUs", "Mem", "MuxIn"});
-  for (const auto& row : rows) {
+  // Measure the five rows concurrently; each slot is written by exactly one
+  // worker and the table is rendered afterwards in row order.
+  std::vector<power::ExperimentRecord> recs(std::size(rows));
+  mcrtl::ThreadPool pool(ThreadPool::resolve_jobs(o.jobs));
+  pool.parallel_for_index(std::size(rows), [&](std::size_t i) {
     CliOptions ro = o;
-    ro.style = row.style == core::DesignStyle::MultiClock          ? "multi"
-               : row.style == core::DesignStyle::ConventionalGated ? "gated"
-                                                                   : "conv";
-    ro.clocks = row.clocks;
-    const auto rec = measure(l, synth_options(ro), ro, false);
+    ro.style = rows[i].style == core::DesignStyle::MultiClock ? "multi"
+               : rows[i].style == core::DesignStyle::ConventionalGated
+                   ? "gated"
+                   : "conv";
+    ro.clocks = rows[i].clocks;
+    recs[i] = measure(l, synth_options(ro), ro, false);
+  });
+  TextTable t({"Design", "Power[mW]", "Area[1e6 l^2]", "ALUs", "Mem", "MuxIn"});
+  for (const auto& rec : recs) {
     t.add_row({rec.design, format_fixed(rec.power.total, 2),
                format_fixed(rec.area.total / 1e6, 2), rec.stats.alu_summary,
                std::to_string(rec.stats.num_memory_cells),
                std::to_string(rec.stats.num_mux_inputs)});
-    recs.push_back(rec);
   }
   std::fputs(t.render().c_str(), stdout);
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << power::to_csv(recs);
+    std::printf("wrote %s\n", o.csv_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_explore(const CliOptions& o) {
+  const Loaded l = load(o);
+  core::ExplorerConfig cfg;
+  cfg.max_clocks = o.clocks;
+  cfg.include_dff_variant = o.dff;
+  cfg.computations = o.computations;
+  cfg.seed = o.seed;
+  cfg.jobs = o.jobs;
+  const auto r = core::explore(*l.graph, *l.schedule, cfg);
+
+  std::printf("%s: %zu design points (%u jobs)\n\n", l.name.c_str(),
+              r.points.size(), ThreadPool::resolve_jobs(o.jobs));
+  TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
+  std::vector<power::ExperimentRecord> recs;
+  for (const auto& p : r.points) {
+    t.add_row({p.label, format_fixed(p.power.total, 2),
+               format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    power::ExperimentRecord rec;
+    rec.experiment = "cli_explore";
+    rec.design = p.label;
+    rec.benchmark = l.name;
+    rec.width = l.graph->width();
+    rec.computations = o.computations;
+    rec.power = p.power;
+    rec.area = p.area;
+    rec.stats = p.stats;
+    recs.push_back(std::move(rec));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("best power: %s (%.2f mW)\n", r.best_power().label.c_str(),
+              r.best_power().power.total);
   if (!o.csv_file.empty()) {
     std::ofstream(o.csv_file) << power::to_csv(recs);
     std::printf("wrote %s\n", o.csv_file.c_str());
@@ -304,6 +361,7 @@ int main(int argc, char** argv) {
     if (o.command == "emit") return cmd_emit(o, false);
     if (o.command == "emit-verilog") return cmd_emit(o, true);
     if (o.command == "dot") return cmd_dot(o);
+    if (o.command == "explore") return cmd_explore(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
