@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "core/explorer.hpp"
+#include "obs/obs.hpp"
 #include "power/report.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/strings.hpp"
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
     std::size_t points = 0;
     double serial_s = 0;
     double parallel_s = 0;
+    double traced_s = 0;  ///< parallel again, with obs:: collection on
   };
   std::vector<BenchTiming> timings;
   const auto wall0 = std::chrono::steady_clock::now();
@@ -96,11 +98,27 @@ int main(int argc, char** argv) {
                    name);
       return 1;
     }
+
+    // Third run with observability collection on: gathers the per-phase
+    // span/counter profile for BENCH_explorer.json and asserts the tracing
+    // determinism contract (results bit-identical with collection on).
+    obs::set_enabled(true);
+    t0 = std::chrono::steady_clock::now();
+    const auto traced = core::explore(*b.graph, *b.schedule, cfg);
+    tm.traced_s = seconds_since(t0);
+    obs::set_enabled(false);
+    if (!identical(serial, traced)) {
+      std::fprintf(stderr,
+                   "FATAL: %s exploration with tracing on differs from "
+                   "tracing off\n",
+                   name);
+      return 1;
+    }
     timings.push_back(tm);
 
-    std::printf("%s:  (serial %.2fs, %u jobs %.2fs, %.2fx)\n", name,
-                tm.serial_s, resolved_jobs,
-                tm.parallel_s, tm.serial_s / tm.parallel_s);
+    std::printf("%s:  (serial %.2fs, %u jobs %.2fs, %.2fx; traced %.2fs)\n",
+                name, tm.serial_s, resolved_jobs,
+                tm.parallel_s, tm.serial_s / tm.parallel_s, tm.traced_s);
     TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
     for (const auto& p : r.points) {
       t.add_row({p.label, format_fixed(p.power.total, 2),
@@ -132,6 +150,8 @@ int main(int argc, char** argv) {
     parallel_total += tm.parallel_s;
     total_points += tm.points;
   }
+  double traced_total = 0;
+  for (const auto& tm : timings) traced_total += tm.traced_s;
   {
     std::ofstream js("BENCH_explorer.json");
     js << "{\n  \"jobs\": " << resolved_jobs << ",\n  \"benchmarks\": [\n";
@@ -140,15 +160,38 @@ int main(int argc, char** argv) {
       js << "    {\"name\": \"" << tm.name << "\", \"points\": " << tm.points
          << ", \"serial_seconds\": " << tm.serial_s
          << ", \"parallel_seconds\": " << tm.parallel_s
+         << ", \"traced_seconds\": " << tm.traced_s
          << ", \"speedup\": " << tm.serial_s / tm.parallel_s
          << ", \"points_per_second\": " << tm.points / tm.parallel_s << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
     }
     js << "  ],\n  \"serial_seconds_total\": " << serial_total
        << ",\n  \"parallel_seconds_total\": " << parallel_total
+       << ",\n  \"traced_seconds_total\": " << traced_total
+       << ",\n  \"tracing_overhead\": "
+       << (traced_total - parallel_total) / parallel_total
        << ",\n  \"speedup_total\": " << serial_total / parallel_total
        << ",\n  \"points_per_second_total\": " << total_points / parallel_total
-       << ",\n  \"wall_seconds\": " << seconds_since(wall0) << "\n}\n";
+       << ",\n  \"wall_seconds\": " << seconds_since(wall0);
+    // Per-phase profile of the traced runs (all benchmarks accumulated):
+    // where synthesis/verification/simulation wall time actually goes.
+    js << ",\n  \"phases\": {";
+    const auto stats = obs::Registry::instance().span_stats();
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      const auto& s = stats[i];
+      js << (i ? "," : "") << "\n    \"" << s.name << "\": {\"count\": "
+         << s.count << ", \"total_ms\": " << s.total_ms
+         << ", \"mean_ms\": " << s.total_ms / static_cast<double>(s.count)
+         << "}";
+    }
+    js << (stats.empty() ? "}" : "\n  }");
+    js << ",\n  \"counters\": {";
+    const auto counters = obs::Registry::instance().counters();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      js << (i ? "," : "") << "\n    \"" << counters[i].first
+         << "\": " << counters[i].second;
+    }
+    js << (counters.empty() ? "}" : "\n  }") << "\n}\n";
   }
   std::printf("wrote mcrtl_exploration.csv / .json (%zu records), "
               "BENCH_explorer.json (total speedup %.2fx at %u jobs)\n",

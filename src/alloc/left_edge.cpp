@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mcrtl::alloc {
@@ -57,6 +58,11 @@ void allocate_storage_left_edge(Binding& binding, const LeftEdgeOptions& opts) {
     right_edge[static_cast<unsigned>(chosen)] =
         std::max(right_edge[static_cast<unsigned>(chosen)], lt.last_read);
   }
+  // The binding started empty (checked above), so every current unit was
+  // created here: merged = values packed - units used.
+  obs::count("alloc.left_edge_values", values.size());
+  obs::count("alloc.left_edge_registers_merged",
+             values.size() - binding.storage().size());
 }
 
 }  // namespace mcrtl::alloc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
@@ -24,23 +25,8 @@ const ExplorationPoint& ExplorationResult::best_power() const {
   return points.front();
 }
 
-ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
-                          const ExplorerConfig& cfg) {
-  MCRTL_CHECK(cfg.max_clocks >= 1);
-  graph.validate();
-  sched.validate();
-
-  // The stimulus stream is derived from the seed once, up front, and then
-  // shared read-only by every evaluation — this is what makes the result
-  // independent of how the points are scheduled across workers.
-  Rng rng(cfg.seed);
-  const auto stream = sim::uniform_stream(rng, graph.inputs().size(),
-                                          cfg.computations, graph.width());
-  const auto tech = power::TechLibrary::cmos08();
-
-  // Enumerate every configuration first; evaluation writes into the slot
-  // matching this (fixed) order, so the pre-sort point array is identical
-  // for any thread count.
+std::vector<std::pair<SynthesisOptions, std::string>> enumerate_configurations(
+    const ExplorerConfig& cfg) {
   std::vector<std::pair<SynthesisOptions, std::string>> configs;
   if (cfg.include_conventional) {
     SynthesisOptions opts;
@@ -69,10 +55,37 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
       }
     }
   }
+  return configs;
+}
+
+std::size_t num_configurations(const ExplorerConfig& cfg) {
+  return enumerate_configurations(cfg).size();
+}
+
+ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
+                          const ExplorerConfig& cfg) {
+  obs::Span span("explore");
+  MCRTL_CHECK(cfg.max_clocks >= 1);
+  graph.validate();
+  sched.validate();
+
+  // The stimulus stream is derived from the seed once, up front, and then
+  // shared read-only by every evaluation — this is what makes the result
+  // independent of how the points are scheduled across workers.
+  Rng rng(cfg.seed);
+  const auto stream = sim::uniform_stream(rng, graph.inputs().size(),
+                                          cfg.computations, graph.width());
+  const auto tech = power::TechLibrary::cmos08();
+
+  // Enumerate every configuration first; evaluation writes into the slot
+  // matching this (fixed) order, so the pre-sort point array is identical
+  // for any thread count.
+  const auto configs = enumerate_configurations(cfg);
 
   ExplorationResult result;
   result.points.resize(configs.size());
   auto eval_point = [&](std::size_t i) {
+    obs::Span point_span("explore.point");
     const auto& [opts, label] = configs[i];
     const auto syn = synthesize(graph, sched, opts);
     const auto rep = sim::check_equivalence(*syn.design, graph, stream);
@@ -98,7 +111,9 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     ThreadPool pool(jobs);
     pool.parallel_for_index(configs.size(), eval_point);
   }
+  obs::count("explore.points", configs.size());
 
+  obs::Span sort_span("explore.sort");
   std::stable_sort(result.points.begin(), result.points.end(),
             [](const ExplorationPoint& a, const ExplorationPoint& b) {
               if (a.power.total != b.power.total) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/synthesizer.hpp"
@@ -60,6 +61,16 @@ struct ExplorationResult {
   /// The overall lowest-power point (points are sorted; front()).
   const ExplorationPoint& best_power() const;
 };
+
+/// The (fixed) configuration enumeration order `explore()` evaluates for
+/// `cfg`, as (options, label) pairs. Exposed so callers (the CLI's
+/// `--progress` ETA, tests) can know the point count and labels up front
+/// without running anything.
+std::vector<std::pair<SynthesisOptions, std::string>> enumerate_configurations(
+    const ExplorerConfig& cfg);
+
+/// Number of design points explore() will evaluate for `cfg`.
+std::size_t num_configurations(const ExplorerConfig& cfg);
 
 /// Explore `graph`/`sched`. Every point is simulated with the same input
 /// stream and checked equivalent to the golden model (throws on mismatch —

@@ -5,6 +5,7 @@
 #include "alloc/activity.hpp"
 #include "alloc/left_edge.hpp"
 #include "core/partition.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -73,6 +74,7 @@ std::vector<NodeId> insert_transfers(dfg::Graph& g, dfg::Schedule& s, int n) {
 SynthesisResult allocate_integrated(const dfg::Graph& graph,
                                     const dfg::Schedule& sched,
                                     const IntegratedOptions& opts) {
+  obs::Span span("alloc.integrated");
   MCRTL_CHECK(opts.num_clocks >= 1);
   sched.validate();
 
@@ -85,9 +87,11 @@ SynthesisResult allocate_integrated(const dfg::Graph& graph,
 
   std::vector<NodeId> transfers;
   if (opts.insert_transfers && opts.num_clocks > 1) {
+    obs::Span xfer_span("alloc.insert_transfers");
     transfers = insert_transfers(*r.graph, *r.schedule, opts.num_clocks);
   }
   r.transfers_inserted = static_cast<int>(transfers.size());
+  obs::count("alloc.transfer_variables", transfers.size());
 
   r.lifetimes = std::make_unique<LifetimeAnalysis>(*r.schedule);
   r.binding =
@@ -96,24 +100,30 @@ SynthesisResult allocate_integrated(const dfg::Graph& graph,
   // Transfers become register-to-register forwards, not ALU work.
   for (NodeId t : transfers) r.binding->mark_transfer(t);
 
-  if (opts.storage_binding == StorageBinding::ActivityAware) {
-    Rng prof_rng(opts.profile_seed);
-    const auto profile =
-        alloc::ActivityProfile::measure(*r.graph, opts.profile_samples, prof_rng);
-    alloc::ActivityBindingOptions ab;
-    ab.kind = opts.storage_kind;
-    ab.partition_constrained = opts.num_clocks > 1;
-    allocate_storage_activity_aware(*r.binding, profile, ab);
-  } else {
-    alloc::LeftEdgeOptions le;
-    le.kind = opts.storage_kind;
-    le.partition_constrained = opts.num_clocks > 1;
-    allocate_storage_left_edge(*r.binding, le);
+  {
+    obs::Span storage_span("alloc.storage_binding");
+    if (opts.storage_binding == StorageBinding::ActivityAware) {
+      Rng prof_rng(opts.profile_seed);
+      const auto profile = alloc::ActivityProfile::measure(
+          *r.graph, opts.profile_samples, prof_rng);
+      alloc::ActivityBindingOptions ab;
+      ab.kind = opts.storage_kind;
+      ab.partition_constrained = opts.num_clocks > 1;
+      allocate_storage_activity_aware(*r.binding, profile, ab);
+    } else {
+      alloc::LeftEdgeOptions le;
+      le.kind = opts.storage_kind;
+      le.partition_constrained = opts.num_clocks > 1;
+      allocate_storage_left_edge(*r.binding, le);
+    }
   }
 
-  alloc::FuBindingOptions fu = opts.fu;
-  fu.partition_constrained = opts.num_clocks > 1;
-  allocate_func_units_greedy(*r.binding, fu);
+  {
+    obs::Span fu_span("alloc.fu_binding");
+    alloc::FuBindingOptions fu = opts.fu;
+    fu.partition_constrained = opts.num_clocks > 1;
+    allocate_func_units_greedy(*r.binding, fu);
+  }
 
   r.binding->finalize();
   return r;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mcrtl::core {
@@ -27,6 +28,7 @@ int global_step(int t_loc, int partition, int num_clocks) {
 }
 
 PartitionedSchedule partition_schedule(const dfg::Schedule& sched, int num_clocks) {
+  obs::Span span("core.partition");
   MCRTL_CHECK(num_clocks >= 1);
   sched.validate();
   const dfg::Graph& g = sched.graph();
@@ -57,6 +59,7 @@ PartitionedSchedule partition_schedule(const dfg::Schedule& sched, int num_clock
       if (ck != k) ps.cut_edges.emplace_back(v.id, c);
     }
   }
+  obs::count("core.cut_edges", ps.cut_edges.size());
   return ps;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/partition.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mcrtl::core {
@@ -100,6 +101,7 @@ int split_latch_conflicts(std::vector<std::vector<ValueId>>& groups,
 
 SplitResult allocate_split(const dfg::Graph& graph, const dfg::Schedule& sched,
                            const SplitOptions& opts) {
+  obs::Span span("alloc.split");
   MCRTL_CHECK(opts.num_clocks >= 1);
   sched.validate();
   const int n = opts.num_clocks;
@@ -161,11 +163,21 @@ SplitResult allocate_split(const dfg::Graph& graph, const dfg::Schedule& sched,
   }
 
   // ---- per-partition functional units --------------------------------------
-  alloc::FuBindingOptions fu = opts.fu;
-  fu.partition_constrained = n > 1;
-  allocate_func_units_greedy(*r.binding, fu);
+  {
+    obs::Span fu_span("alloc.fu_binding");
+    alloc::FuBindingOptions fu = opts.fu;
+    fu.partition_constrained = n > 1;
+    allocate_func_units_greedy(*r.binding, fu);
+  }
 
   r.binding->finalize();
+  obs::count("split.pseudo_input_registers_removed",
+             static_cast<std::uint64_t>(
+                 result.cleanup.pseudo_input_registers_removed));
+  obs::count("split.shared_inputs_merged",
+             static_cast<std::uint64_t>(result.cleanup.shared_inputs_merged));
+  obs::count("split.latch_conflicts_split",
+             static_cast<std::uint64_t>(result.cleanup.latch_conflicts_split));
   return result;
 }
 

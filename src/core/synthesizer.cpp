@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alloc/conventional.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -22,6 +23,7 @@ std::string style_label(DesignStyle style, int num_clocks) {
 
 Synthesized synthesize(const dfg::Graph& graph, const dfg::Schedule& sched,
                        const SynthesisOptions& opts) {
+  obs::Span span("core.synthesize");
   graph.validate();
   sched.validate();
 
@@ -31,6 +33,7 @@ Synthesized synthesize(const dfg::Graph& graph, const dfg::Schedule& sched,
   switch (opts.style) {
     case DesignStyle::ConventionalNonGated:
     case DesignStyle::ConventionalGated: {
+      obs::Span alloc_span("alloc.conventional");
       SynthesisResult r;
       r.graph = std::make_unique<dfg::Graph>(graph);
       r.schedule = std::make_unique<dfg::Schedule>(*r.graph);

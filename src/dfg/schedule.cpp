@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mcrtl::dfg {
@@ -112,6 +113,7 @@ int ResourceLimits::limit_for(Op op) const {
 }
 
 Schedule schedule_list(const Graph& g, const ResourceLimits& limits) {
+  obs::Span span("dfg.schedule");
   Schedule s(g);
   const int horizon0 = static_cast<int>(g.critical_path_length());
   const auto asap = Schedule::asap_steps(g);
@@ -238,6 +240,7 @@ Schedule schedule_partition_balanced(const Graph& g,
 }
 
 Schedule schedule_force_directed(const Graph& g, int num_steps) {
+  obs::Span span("dfg.schedule");
   // Paulin & Knight: iteratively pick the (node, step) assignment with the
   // minimum total force, where force is derived from per-step "distribution
   // graphs" of expected operator concurrency.

@@ -1,0 +1,267 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcrtl::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string lane_name(int lane) {
+  return lane == 0 ? std::string("main") : str_format("worker-%d", lane - 1);
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+std::uint64_t Registry::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Registry::count(const std::string& name, std::uint64_t n) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  counters_[name] += n;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  gauges_[name] = value;
+}
+
+void Registry::record_span(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lk(m_);
+  spans_.push_back(rec);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return spans_;
+}
+
+std::size_t Registry::num_spans() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return spans_.size();
+}
+
+std::vector<SpanStats> Registry::span_stats() const {
+  std::map<std::string, SpanStats> by_name;
+  for (const auto& s : spans()) {
+    auto& st = by_name[s.name];
+    if (st.count == 0) {
+      st.name = s.name;
+      st.min_ms = ms(s.dur_ns);
+      st.max_ms = ms(s.dur_ns);
+    }
+    ++st.count;
+    st.total_ms += ms(s.dur_ns);
+    st.min_ms = std::min(st.min_ms, ms(s.dur_ns));
+    st.max_ms = std::max(st.max_ms, ms(s.dur_ns));
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [_, st] : by_name) out.push_back(std::move(st));
+  // Heaviest first: the table doubles as a profile.
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::vector<LaneStats> Registry::lane_stats() const {
+  std::map<int, LaneStats> by_lane;
+  for (const auto& s : spans()) {
+    auto& st = by_lane[s.lane];
+    st.lane = s.lane;
+    ++st.spans;
+    st.busy_ms += ms(s.dur_ns);
+  }
+  std::vector<LaneStats> out;
+  out.reserve(by_lane.size());
+  for (auto& [_, st] : by_lane) out.push_back(st);
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  counters_.clear();
+  gauges_.clear();
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Registry::summary() const {
+  std::string out;
+  const auto stats = span_stats();
+  if (!stats.empty()) {
+    TextTable t({"span", "count", "total[ms]", "mean[ms]", "min[ms]", "max[ms]"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+    for (const auto& s : stats) {
+      t.add_row({s.name, std::to_string(s.count), format_fixed(s.total_ms, 3),
+                 format_fixed(s.total_ms / static_cast<double>(s.count), 3),
+                 format_fixed(s.min_ms, 3), format_fixed(s.max_ms, 3)});
+    }
+    out += t.render();
+  }
+  const auto lanes = lane_stats();
+  if (lanes.size() > 1) {
+    TextTable t({"lane", "spans", "busy[ms]"},
+                {Align::Left, Align::Right, Align::Right});
+    for (const auto& l : lanes) {
+      t.add_row({lane_name(l.lane), std::to_string(l.spans),
+                 format_fixed(l.busy_ms, 3)});
+    }
+    out += "\n" + t.render();
+  }
+  const auto cs = counters();
+  const auto gs = gauges();
+  if (!cs.empty() || !gs.empty()) {
+    TextTable t({"metric", "value"}, {Align::Left, Align::Right});
+    for (const auto& [name, v] : cs) t.add_row({name, std::to_string(v)});
+    for (const auto& [name, v] : gs) t.add_row({name, format_fixed(v, 3)});
+    out += "\n" + t.render();
+  }
+  return out;
+}
+
+std::string Registry::chrome_trace_json() const {
+  auto recs = spans();
+  // Stable presentation order (records arrive in whatever order workers
+  // finished): by start time, then lane.
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.lane < b.lane;
+                   });
+  int max_lane = 0;
+  for (const auto& r : recs) max_lane = std::max(max_lane, r.lane);
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (int lane = 0; lane <= max_lane; ++lane) {
+    out += str_format(
+        "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \"thread_name\", "
+        "\"args\": {\"name\": \"%s\"}},\n",
+        lane, lane_name(lane).c_str());
+  }
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    out += str_format(
+        "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+        "\"dur\": %.3f, \"cat\": \"mcrtl\", \"name\": \"%s\"}%s\n",
+        r.lane, static_cast<double>(r.start_ns) / 1e3,
+        static_cast<double>(r.dur_ns) / 1e3, json_escape(r.name).c_str(),
+        i + 1 < recs.size() ? "," : "");
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string Registry::metrics_json() const {
+  std::string out = "{\n  \"counters\": {";
+  const auto cs = counters();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    out += str_format("%s\n    \"%s\": %llu", i ? "," : "",
+                      json_escape(cs[i].first).c_str(),
+                      static_cast<unsigned long long>(cs[i].second));
+  }
+  out += cs.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  const auto gs = gauges();
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    out += str_format("%s\n    \"%s\": %.6f", i ? "," : "",
+                      json_escape(gs[i].first).c_str(), gs[i].second);
+  }
+  out += gs.empty() ? "},\n" : "\n  },\n";
+  out += "  \"spans\": {";
+  const auto stats = span_stats();
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    out += str_format(
+        "%s\n    \"%s\": {\"count\": %llu, \"total_ms\": %.6f, "
+        "\"mean_ms\": %.6f, \"min_ms\": %.6f, \"max_ms\": %.6f}",
+        i ? "," : "", json_escape(s.name).c_str(),
+        static_cast<unsigned long long>(s.count), s.total_ms,
+        s.total_ms / static_cast<double>(s.count), s.min_ms, s.max_ms);
+  }
+  out += stats.empty() ? "},\n" : "\n  },\n";
+  out += "  \"lanes\": {";
+  const auto lanes = lane_stats();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    out += str_format("%s\n    \"%s\": {\"spans\": %llu, \"busy_ms\": %.6f}",
+                      i ? "," : "", lane_name(lanes[i].lane).c_str(),
+                      static_cast<unsigned long long>(lanes[i].spans),
+                      lanes[i].busy_ms);
+  }
+  out += lanes.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  start_ns_ = Registry::instance().now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = Registry::instance().now_ns() - start_ns_;
+  rec.lane = ThreadPool::current_worker_index() + 1;
+  Registry::instance().record_span(rec);
+}
+
+}  // namespace mcrtl::obs

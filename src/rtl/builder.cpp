@@ -2,6 +2,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "rtl/design.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -294,6 +295,7 @@ void create_storage_inputs(Lowering& L) {
 }  // namespace
 
 Design build_design(const alloc::Binding& binding, const BuildOptions& opts) {
+  obs::Span span("rtl.build_design");
   Lowering L(binding, opts);
   create_io_and_constants(L);
   create_storage(L);
@@ -332,6 +334,16 @@ Design build_design(const alloc::Binding& binding, const BuildOptions& opts) {
   d.stats.num_mux_inputs = binding.num_mux_inputs();
   d.stats.num_muxes = binding.num_muxes();
   d.stats.num_clocks = binding.num_clocks();
+  if (obs::enabled()) {
+    obs::count("rtl.designs_built");
+    obs::count("rtl.nets", d.netlist.num_nets());
+    obs::count("rtl.components", d.netlist.num_components());
+    obs::count("rtl.muxes", static_cast<std::uint64_t>(d.stats.num_muxes));
+    obs::count("rtl.mux_inputs",
+               static_cast<std::uint64_t>(d.stats.num_mux_inputs));
+    obs::count("rtl.memory_cells",
+               static_cast<std::uint64_t>(d.stats.num_memory_cells));
+  }
   return d;
 }
 

@@ -1,0 +1,41 @@
+#include "sim/activity.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcrtl::sim {
+
+std::uint64_t PhaseHeatmap::phase_total(int phase) const {
+  std::uint64_t total = 0;
+  for (int t = 1; t <= period; ++t) total += write_toggles[at(phase, t)];
+  return total;
+}
+
+std::string render_heatmap(const PhaseHeatmap& hm) {
+  std::vector<std::string> header{"phase \\ step"};
+  std::vector<Align> aligns{Align::Left};
+  for (int t = 1; t <= hm.period; ++t) {
+    header.push_back(str_format("t%d", t));
+    aligns.push_back(Align::Right);
+  }
+  header.push_back("total");
+  aligns.push_back(Align::Right);
+  TextTable table(std::move(header), std::move(aligns));
+  for (int p = 1; p <= hm.num_phases; ++p) {
+    std::vector<std::string> row{str_format("phi%d", p)};
+    for (int t = 1; t <= hm.period; ++t) {
+      const auto tog = hm.write_toggles[hm.at(p, t)];
+      const auto clk = hm.clock_events[hm.at(p, t)];
+      row.push_back(tog == 0 && clk == 0
+                        ? "."
+                        : str_format("%llu/%llu",
+                                     static_cast<unsigned long long>(tog),
+                                     static_cast<unsigned long long>(clk)));
+    }
+    row.push_back(std::to_string(hm.phase_total(p)));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace mcrtl::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mcrtl::sim {
@@ -35,5 +36,42 @@ struct Activity {
                                   static_cast<double>(steps);
   }
 };
+
+/// Per-partition activity telemetry: a (clock phase) x (step within the
+/// master period) matrix of latch/FF write toggles and delivered clock
+/// edges, accumulated over a whole run. This makes the paper's activity
+/// signature directly visible: with n non-overlapping clocks, storage of
+/// phase p can only capture at steps t with phase_of_step(t) == p, so the
+/// matrix of a correct multi-clock design is "block-diagonal" — exactly
+/// one DPM's memory elements switch in each master cycle.
+///
+/// Attach to a Simulator with set_heatmap() before run(); collection is
+/// explicit opt-in and costs nothing when no heatmap is attached.
+struct PhaseHeatmap {
+  int num_phases = 0;  ///< n (phases are 1..n; n doubles as the boundary/IO phase)
+  int period = 0;      ///< steps per master period P
+
+  /// Bit-toggles written into phase-p storage at period-step t.
+  std::vector<std::uint64_t> write_toggles;  ///< (num_phases x period), row-major
+  /// Clock edges delivered to phase-p storage pins at period-step t.
+  std::vector<std::uint64_t> clock_events;  ///< same shape
+
+  void resize(int phases, int steps) {
+    num_phases = phases;
+    period = steps;
+    write_toggles.assign(static_cast<std::size_t>(phases) * steps, 0);
+    clock_events.assign(static_cast<std::size_t>(phases) * steps, 0);
+  }
+  std::size_t at(int phase, int step) const {  ///< phase 1..n, step 1..P
+    return static_cast<std::size_t>(phase - 1) * period +
+           static_cast<std::size_t>(step - 1);
+  }
+  /// Total write toggles of one phase across the period.
+  std::uint64_t phase_total(int phase) const;
+};
+
+/// Render the heatmap as a util::table (rows = phases, columns = period
+/// steps, cells = "toggles/clock-edges").
+std::string render_heatmap(const PhaseHeatmap& hm);
 
 }  // namespace mcrtl::sim

@@ -1,5 +1,6 @@
 #include "sim/equivalence.hpp"
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace mcrtl::sim {
@@ -7,6 +8,7 @@ namespace mcrtl::sim {
 EquivalenceReport check_equivalence(const rtl::Design& design,
                                     const dfg::Graph& graph,
                                     const InputStream& stream) {
+  obs::Span span("sim.equivalence");
   EquivalenceReport rep;
   const auto in_order = graph.inputs();
   const auto out_order = graph.outputs();

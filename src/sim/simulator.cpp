@@ -1,5 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <numeric>
+
+#include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 
@@ -55,6 +58,7 @@ void Simulator::settle(Activity& act, bool count) {
 SimResult Simulator::run(const InputStream& stream,
                          const std::vector<dfg::ValueId>& input_order,
                          const std::vector<dfg::ValueId>& output_order) {
+  obs::Span span("sim.run");
   const rtl::Design& d = *design_;
   const rtl::Netlist& nl = d.netlist;
   const rtl::ControlPlan& plan = d.control;
@@ -68,6 +72,7 @@ SimResult Simulator::run(const InputStream& stream,
   act.storage_clock_events.assign(nl.num_components(), 0);
   act.storage_write_toggles.assign(nl.num_components(), 0);
   act.phase_pulses.assign(static_cast<std::size_t>(n) + 1, 0);
+  if (heatmap_) heatmap_->resize(n, P);
 
   auto apply_inputs = [&](std::size_t comp_index, Activity& a, bool count) {
     MCRTL_CHECK(stream[comp_index].size() == input_order.size());
@@ -125,6 +130,7 @@ SimResult Simulator::run(const InputStream& stream,
         const bool load = !c.load.valid() || net_value_[c.load.index()] != 0;
         if (load || !c.clock_gated) {
           ++act.storage_clock_events[c.id.index()];
+          if (heatmap_) ++heatmap_->clock_events[heatmap_->at(phase, t)];
         }
         if (load) captures.emplace_back(c.id, net_value_[c.inputs[0].index()]);
       }
@@ -132,7 +138,9 @@ SimResult Simulator::run(const InputStream& stream,
         const rtl::Component& c = nl.comp(cid);
         const std::uint64_t old = storage_q_[cid.index()];
         if (old != dval) {
-          act.storage_write_toggles[cid.index()] += hamming(old, dval);
+          const auto flipped = hamming(old, dval);
+          act.storage_write_toggles[cid.index()] += flipped;
+          if (heatmap_) heatmap_->write_toggles[heatmap_->at(phase, t)] += flipped;
           storage_q_[cid.index()] = dval;
           write_net(c.output, dval, act, true);
         }
@@ -152,6 +160,13 @@ SimResult Simulator::run(const InputStream& stream,
       }
     }
     ++act.computations;
+  }
+  if (obs::enabled()) {
+    obs::count("sim.runs");
+    obs::count("sim.steps", act.steps);
+    obs::count("sim.net_toggles",
+               std::accumulate(act.net_toggles.begin(), act.net_toggles.end(),
+                               std::uint64_t{0}));
   }
   return result;
 }

@@ -55,6 +55,12 @@ class Simulator {
       std::function<void(std::uint64_t step, const std::vector<std::uint64_t>&)>;
   void set_observer(StepObserver obs) { observer_ = std::move(obs); }
 
+  /// Optional per-partition activity telemetry: run() fills `hm` (resized
+  /// to the design's phase count x period) with storage write toggles and
+  /// delivered clock edges per (phase, period step). Pass nullptr to
+  /// detach; no collection cost when detached.
+  void set_heatmap(PhaseHeatmap* hm) { heatmap_ = hm; }
+
  private:
   void settle(Activity& act, bool count);
   void write_net(rtl::NetId net, std::uint64_t value, Activity& act, bool count);
@@ -64,6 +70,7 @@ class Simulator {
   std::vector<std::uint64_t> net_value_;
   std::vector<std::uint64_t> storage_q_;  // by CompId (storage comps only)
   StepObserver observer_;
+  PhaseHeatmap* heatmap_ = nullptr;
 };
 
 }  // namespace mcrtl::sim

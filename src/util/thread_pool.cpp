@@ -43,6 +43,8 @@ unsigned ThreadPool::resolve_jobs(int jobs) {
   return jobs <= 0 ? default_concurrency() : static_cast<unsigned>(jobs);
 }
 
+int ThreadPool::current_worker_index() { return tls_worker_index; }
+
 void ThreadPool::submit(std::function<void()> task) {
   if (queues_.empty()) {
     task();  // degenerate pool: run inline

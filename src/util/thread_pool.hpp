@@ -51,6 +51,11 @@ class ThreadPool {
   /// CLI/config convention: jobs <= 0 means "auto" (default_concurrency).
   static unsigned resolve_jobs(int jobs);
 
+  /// Worker index of the calling thread (any pool), or -1 off-pool. Lets
+  /// observers (obs::Span) attribute work to per-worker lanes without a
+  /// pool reference.
+  static int current_worker_index();
+
   /// Run fn(0) .. fn(n-1) across the pool and block until all complete.
   /// Order of execution is unspecified; determinism comes from indexing.
   /// If any invocation throws, the exception thrown by the lowest index is

@@ -1,0 +1,163 @@
+// power::report serialization: stable CSV column order, JSON string
+// escaping, and a full round-trip of the emitted JSON through a real
+// parser (tests/json_lite.hpp) back to the source fields.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lite.hpp"
+#include "power/report.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+power::ExperimentRecord sample_record() {
+  power::ExperimentRecord r;
+  r.experiment = "table1_facet";
+  r.design = "3 Clocks";
+  r.benchmark = "facet";
+  r.width = 4;
+  r.computations = 1200;
+  r.power.total = 12.5;
+  r.power.combinational = 6.25;
+  r.power.storage = 3.125;
+  r.power.clock_tree = 1.5;
+  r.power.control = 1.0;
+  r.power.io = 0.625;
+  r.area.total = 2000000;
+  r.area.alus = 1200000;
+  r.area.storage = 500000;
+  r.area.muxes = 200000;
+  r.area.controller = 100000;
+  r.stats.num_alus = 3;
+  r.stats.num_memory_cells = 40;
+  r.stats.num_mux_inputs = 17;
+  r.stats.num_clocks = 3;
+  r.stats.alu_summary = "2 add, 1 mul";
+  return r;
+}
+
+std::string first_line(const std::string& s) {
+  return s.substr(0, s.find('\n'));
+}
+
+}  // namespace
+
+TEST(Report, CsvHeaderHasStableColumnOrder) {
+  const auto csv = power::to_csv({});
+  EXPECT_EQ(first_line(csv),
+            "experiment,design,benchmark,width,computations,"
+            "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
+            "power_control_mw,power_io_mw,"
+            "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
+            "area_controller_l2,"
+            "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary");
+  // Header only, terminated by exactly one newline.
+  EXPECT_EQ(csv.back(), '\n');
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);
+}
+
+TEST(Report, CsvRowMatchesRecordFields) {
+  auto r = sample_record();
+  r.stats.alu_summary = "2add+1mul";  // comma-free so a naive split works
+  const auto csv = power::to_csv({r});
+  std::istringstream is(csv);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row));
+
+  std::vector<std::string> cells;
+  std::istringstream rs(row);
+  std::string cell;
+  while (std::getline(rs, cell, ',')) cells.push_back(cell);
+  ASSERT_EQ(cells.size(), 21u);
+  EXPECT_EQ(cells[0], "table1_facet");
+  EXPECT_EQ(cells[1], "3 Clocks");
+  EXPECT_EQ(cells[2], "facet");
+  EXPECT_EQ(cells[3], "4");
+  EXPECT_EQ(cells[4], "1200");
+  EXPECT_EQ(cells[5], "12.500000");   // power_total_mw
+  EXPECT_EQ(cells[11], "2000000");    // area_total_l2
+  EXPECT_EQ(cells[16], "3");          // num_alus
+  EXPECT_EQ(cells[17], "40");         // mem_cells
+  EXPECT_EQ(cells[20], "2add+1mul");
+}
+
+TEST(Report, CsvQuotesFieldsWithSpecialCharacters) {
+  auto r = sample_record();
+  r.design = "say \"hi\", ok";
+  r.experiment = "plain";
+  const auto csv = power::to_csv({r});
+  // RFC-4180: the whole field quoted, embedded quotes doubled.
+  EXPECT_NE(csv.find("plain,\"say \"\"hi\"\", ok\",facet"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesSpecialCharacters) {
+  auto r = sample_record();
+  r.design = "quote:\" back:\\ nl:\n tab:\t bell:\x01 end";
+  r.benchmark = "b\\n";  // literal backslash-n, not a newline
+  const auto json = power::to_json({r});
+
+  EXPECT_NE(json.find("quote:\\\" back:\\\\ nl:\\n tab:\\t bell:\\u0001 end"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"benchmark\": \"b\\\\n\""), std::string::npos);
+
+  // And a real parser recovers the original strings exactly.
+  const auto root = jsonlite::parse(json);
+  ASSERT_EQ(root.kind, jsonlite::Value::Kind::Array);
+  ASSERT_EQ(root.array.size(), 1u);
+  EXPECT_EQ(root.array[0].at("design").str, r.design);
+  EXPECT_EQ(root.array[0].at("benchmark").str, "b\\n");
+}
+
+TEST(Report, JsonRoundTripsAllFields) {
+  auto second = sample_record();
+  second.experiment = "explore_hal";
+  second.design = "4 clk / split / latch";
+  second.benchmark = "hal";
+  second.computations = 7;
+  second.power.total = 0.015625;
+  second.stats.num_clocks = 4;
+
+  const std::vector<power::ExperimentRecord> records{sample_record(), second};
+  const auto root = jsonlite::parse(power::to_json(records));
+  ASSERT_EQ(root.kind, jsonlite::Value::Kind::Array);
+  ASSERT_EQ(root.array.size(), records.size());
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    const auto& j = root.array[i];
+    EXPECT_EQ(j.at("experiment").str, r.experiment);
+    EXPECT_EQ(j.at("design").str, r.design);
+    EXPECT_EQ(j.at("benchmark").str, r.benchmark);
+    EXPECT_EQ(j.at("width").number, r.width);
+    EXPECT_EQ(j.at("computations").number, r.computations);
+    // %.6f keeps these exact for the magnitudes used here.
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("total").number, r.power.total);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("comb").number, r.power.combinational);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("storage").number, r.power.storage);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("clock").number, r.power.clock_tree);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("control").number, r.power.control);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("io").number, r.power.io);
+    EXPECT_DOUBLE_EQ(j.at("area_l2").at("total").number, r.area.total);
+    EXPECT_DOUBLE_EQ(j.at("area_l2").at("alus").number, r.area.alus);
+    EXPECT_DOUBLE_EQ(j.at("area_l2").at("storage").number, r.area.storage);
+    EXPECT_DOUBLE_EQ(j.at("area_l2").at("muxes").number, r.area.muxes);
+    EXPECT_DOUBLE_EQ(j.at("area_l2").at("controller").number,
+                     r.area.controller);
+    EXPECT_EQ(j.at("stats").at("alus").number, r.stats.num_alus);
+    EXPECT_EQ(j.at("stats").at("mem_cells").number, r.stats.num_memory_cells);
+    EXPECT_EQ(j.at("stats").at("mux_inputs").number, r.stats.num_mux_inputs);
+    EXPECT_EQ(j.at("stats").at("clocks").number, r.stats.num_clocks);
+    EXPECT_EQ(j.at("stats").at("alu_summary").str, r.stats.alu_summary);
+  }
+}
+
+TEST(Report, EmptyRecordListsAreValid) {
+  const auto root = jsonlite::parse(power::to_json({}));
+  ASSERT_EQ(root.kind, jsonlite::Value::Kind::Array);
+  EXPECT_TRUE(root.array.empty());
+}

@@ -27,9 +27,18 @@
 //   --csv FILE       also write measured rows as CSV
 //   --jobs N         worker threads for table/explore (default: all cores;
 //                    results are identical for any N)
+//   --vcd FILE       (synth) dump a VCD waveform of the measured run
+//   --trace-out FILE enable tracing; write Chrome trace-event JSON
+//                    (chrome://tracing / Perfetto) on exit
+//   --metrics-out FILE enable tracing; write counters/gauges/span JSON
+//   --progress       live progress on stderr (explore) + span/counter
+//                    summary tables on exit
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,12 +47,14 @@
 #include "core/synthesizer.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
+#include "obs/obs.hpp"
 #include "power/estimator.hpp"
 #include "power/report.hpp"
 #include "rtl/analysis.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
+#include "sim/vcd.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -70,6 +81,15 @@ struct CliOptions {
   std::uint64_t seed = 1996;
   std::string csv_file;
   int jobs = 0;  // <= 0: auto (hardware concurrency)
+  std::string vcd_file;
+  std::string trace_file;
+  std::string metrics_file;
+  bool progress = false;
+
+  /// Any observability request turns collection on.
+  bool obs_enabled() const {
+    return !trace_file.empty() || !metrics_file.empty() || progress;
+  }
 };
 
 int usage() {
@@ -80,7 +100,9 @@ int usage() {
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
                "             [--computations N] [--seed N] [--csv file] "
-               "[--jobs N]\n");
+               "[--jobs N]\n"
+               "             [--vcd file] [--trace-out file] "
+               "[--metrics-out file] [--progress]\n");
   return 2;
 }
 
@@ -132,6 +154,20 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       const char* v = next();
       if (!v) return false;
       o.jobs = std::atoi(v);
+    } else if (a == "--vcd") {
+      const char* v = next();
+      if (!v) return false;
+      o.vcd_file = v;
+    } else if (a == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      o.trace_file = v;
+    } else if (a == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      o.metrics_file = v;
+    } else if (a == "--progress") {
+      o.progress = true;
     } else if (!a.empty() && a[0] != '-') {
       o.benchmark = a;
     } else {
@@ -209,7 +245,32 @@ power::ExperimentRecord measure(const Loaded& l,
   if (!rep.equivalent) throw mcrtl::Error("equivalence failure: " + rep.detail);
 
   sim::Simulator simulator(*syn.design);
+  // Waveform dump and per-partition activity telemetry are only wired on the
+  // single-design path (synth); cmd_table calls measure() concurrently.
+  std::unique_ptr<sim::VcdTracer> vcd;
+  if (print_structure && !o.vcd_file.empty()) {
+    vcd = std::make_unique<sim::VcdTracer>(*syn.design);
+    simulator.set_observer([&](std::uint64_t step, const auto& nets) {
+      vcd->record(step, nets);
+    });
+  }
+  sim::PhaseHeatmap heatmap;
+  const bool want_heatmap = print_structure && obs::enabled();
+  if (want_heatmap) simulator.set_heatmap(&heatmap);
   const auto res = simulator.run(stream, l.graph->inputs(), l.graph->outputs());
+  if (vcd) {
+    std::ofstream(o.vcd_file) << vcd->render();
+    std::printf("wrote %s\n", o.vcd_file.c_str());
+  }
+  if (want_heatmap) {
+    std::printf("\nper-partition storage activity (write-toggles/clock-edges "
+                "per period step):\n%s",
+                sim::render_heatmap(heatmap).c_str());
+    for (int p = 1; p <= heatmap.num_phases; ++p) {
+      obs::set_gauge(str_format("sim.phase%d.write_toggles", p),
+                     static_cast<double>(heatmap.phase_total(p)));
+    }
+  }
   const auto tech = power::TechLibrary::cmos08();
 
   power::ExperimentRecord rec;
@@ -303,7 +364,43 @@ int cmd_explore(const CliOptions& o) {
   cfg.computations = o.computations;
   cfg.seed = o.seed;
   cfg.jobs = o.jobs;
+
+  // Live progress: counts points as workers finish them (the hook runs
+  // concurrently — everything it touches is atomic or a local stderr write).
+  const std::size_t total = core::num_configurations(cfg);
+  std::atomic<std::size_t> done{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  if (o.progress) {
+    cfg.on_point = [&](const core::ExplorationPoint&) {
+      const std::size_t k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      const double el =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double rate = el > 0 ? static_cast<double>(k) / el : 0.0;
+      std::fprintf(stderr, "\r[%zu/%zu] %.1f points/s, ETA %.1fs   ", k, total,
+                   rate,
+                   rate > 0 ? static_cast<double>(total - k) / rate : 0.0);
+    };
+  }
+
   const auto r = core::explore(*l.graph, *l.schedule, cfg);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (o.progress) std::fprintf(stderr, "\n");
+  obs::set_gauge("explore.points_per_second",
+                 elapsed > 0 ? static_cast<double>(r.points.size()) / elapsed
+                             : 0.0);
+  if (obs::enabled()) {
+    // Per-worker utilization: busy span time per lane over the explore wall
+    // clock (lane 0 is the main thread; with jobs > 1 it only coordinates).
+    for (const auto& lane : obs::Registry::instance().lane_stats()) {
+      if (lane.lane == 0) continue;
+      obs::set_gauge(str_format("explore.worker%d.utilization", lane.lane - 1),
+                     elapsed > 0 ? lane.busy_ms / (elapsed * 1e3) : 0.0);
+    }
+  }
 
   std::printf("%s: %zu design points (%u jobs)\n\n", l.name.c_str(),
               r.points.size(), ThreadPool::resolve_jobs(o.jobs));
@@ -351,20 +448,49 @@ int cmd_dot(const CliOptions& o) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const CliOptions& o) {
+  if (o.command == "list") return cmd_list();
+  if (o.command == "synth") return cmd_synth(o);
+  if (o.command == "table") return cmd_table(o);
+  if (o.command == "emit") return cmd_emit(o, false);
+  if (o.command == "emit-verilog") return cmd_emit(o, true);
+  if (o.command == "dot") return cmd_dot(o);
+  if (o.command == "explore") return cmd_explore(o);
+  return usage();
+}
+
+/// Flush the requested observability sinks (after the command, whether it
+/// succeeded or threw — a trace of a failing run is the most useful kind).
+void flush_obs(const CliOptions& o) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::instance();
+  if (!o.trace_file.empty()) {
+    std::ofstream(o.trace_file) << reg.chrome_trace_json();
+    std::fprintf(stderr, "wrote %s (%zu spans)\n", o.trace_file.c_str(),
+                 reg.num_spans());
+  }
+  if (!o.metrics_file.empty()) {
+    std::ofstream(o.metrics_file) << reg.metrics_json();
+    std::fprintf(stderr, "wrote %s\n", o.metrics_file.c_str());
+  }
+  if (o.progress) std::fputs(reg.summary().c_str(), stderr);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliOptions o;
   if (!parse_args(argc, argv, o)) return usage();
+  if (o.obs_enabled()) obs::set_enabled(true);
   try {
-    if (o.command == "list") return cmd_list();
-    if (o.command == "synth") return cmd_synth(o);
-    if (o.command == "table") return cmd_table(o);
-    if (o.command == "emit") return cmd_emit(o, false);
-    if (o.command == "emit-verilog") return cmd_emit(o, true);
-    if (o.command == "dot") return cmd_dot(o);
-    if (o.command == "explore") return cmd_explore(o);
+    const int rc = dispatch(o);
+    flush_obs(o);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    flush_obs(o);
     return 1;
   }
-  return usage();
 }
