@@ -76,7 +76,10 @@ int main(int argc, char** argv) {
     const auto b = suite::by_name(name, 4);
     core::ExplorerConfig cfg;
     cfg.max_clocks = 4;
-    cfg.computations = 1200;
+    // Long enough that a design point is real work: the single-pass explore
+    // on the event-driven kernel made points ~4x cheaper, which at 1200
+    // computations left too little per task for the pool to amortize.
+    cfg.computations = 4000;
 
     BenchTiming tm;
     tm.name = name;
@@ -154,7 +157,12 @@ int main(int argc, char** argv) {
   for (const auto& tm : timings) traced_total += tm.traced_s;
   {
     std::ofstream js("BENCH_explorer.json");
-    js << "{\n  \"jobs\": " << resolved_jobs << ",\n  \"benchmarks\": [\n";
+    js << "{\n  \"jobs\": " << resolved_jobs
+       << ",\n  \"jobs_requested\": " << jobs
+       << ",\n  \"hardware_concurrency\": " << ThreadPool::default_concurrency()
+       << ",\n  \"scheduling\": \"longest_first\""
+       << ",\n  \"single_pass_explore\": true"
+       << ",\n  \"sim_kernel\": \"event_driven\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < timings.size(); ++i) {
       const auto& tm = timings[i];
       js << "    {\"name\": \"" << tm.name << "\", \"points\": " << tm.points

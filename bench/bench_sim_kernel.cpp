@@ -1,0 +1,175 @@
+// Settle-kernel benchmark: oblivious full-sweep vs. event-driven worklist,
+// over every paper benchmark x clock count. Reports steps/sec and
+// settle-evals/step per kernel and enforces two invariants that double as
+// the CI perf-smoke guard (cheap and runner-noise-free, unlike wall-clock
+// thresholds):
+//
+//  1. bit-identical results — outputs and the full Activity record of the
+//     two kernels must agree exactly;
+//  2. monotonic work — the event-driven kernel must never evaluate more
+//     combinational components than the oblivious sweep does.
+//
+// Exit code is nonzero if either fails. Writes BENCH_sim.json (cwd).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "suite/benchmarks.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mcrtl;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct KernelRun {
+  double seconds = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t evals = 0;
+  double steps_per_sec() const { return steps / seconds; }
+  double evals_per_step() const {
+    return static_cast<double>(evals) / static_cast<double>(steps);
+  }
+};
+
+struct ConfigRow {
+  std::string bench;
+  int num_clocks = 0;
+  std::size_t comb_components = 0;
+  KernelRun oblivious, event;
+};
+
+bool identical(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.outputs == b.outputs &&
+         a.activity.net_toggles == b.activity.net_toggles &&
+         a.activity.storage_clock_events == b.activity.storage_clock_events &&
+         a.activity.storage_write_toggles == b.activity.storage_write_toggles &&
+         a.activity.phase_pulses == b.activity.phase_pulses &&
+         a.activity.steps == b.activity.steps;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kComputations = 3000;
+  constexpr int kReps = 3;  // best-of, to shrug off scheduler noise
+  std::vector<ConfigRow> rows;
+  bool ok = true;
+
+  std::printf("=== settle kernel: oblivious sweep vs event-driven worklist "
+              "(%zu computations/run, best of %d) ===\n\n",
+              kComputations, kReps);
+  for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
+    const auto b = suite::by_name(name, 4);
+    for (int n = 1; n <= 4; ++n) {
+      core::SynthesisOptions opts;
+      opts.style = core::DesignStyle::MultiClock;
+      opts.num_clocks = n;
+      const auto syn = core::synthesize(*b.graph, *b.schedule, opts);
+      Rng rng(2024);
+      const auto stream = sim::uniform_stream(rng, b.graph->inputs().size(),
+                                              kComputations, 4);
+      ConfigRow row;
+      row.bench = name;
+      row.num_clocks = n;
+      row.comb_components = syn.design->netlist.comb_order().size();
+
+      // Fresh simulators per rep (kernel_stats accumulate); the timed
+      // quantity is the best rep of each kernel over the identical stream.
+      sim::SimResult rob, rev;
+      row.oblivious.seconds = 1e100;
+      row.event.seconds = 1e100;
+      for (int rep = 0; rep < kReps; ++rep) {
+        sim::Simulator ob(*syn.design, sim::Simulator::Mode::Oblivious);
+        auto t0 = std::chrono::steady_clock::now();
+        rob = ob.run(stream, b.graph->inputs(), b.graph->outputs());
+        row.oblivious.seconds =
+            std::min(row.oblivious.seconds, seconds_since(t0));
+        row.oblivious.steps = rob.activity.steps;
+        row.oblivious.evals = ob.kernel_stats().evals;
+
+        sim::Simulator ev(*syn.design);
+        t0 = std::chrono::steady_clock::now();
+        rev = ev.run(stream, b.graph->inputs(), b.graph->outputs());
+        row.event.seconds = std::min(row.event.seconds, seconds_since(t0));
+        row.event.steps = rev.activity.steps;
+        row.event.evals = ev.kernel_stats().evals;
+      }
+
+      if (!identical(rob, rev)) {
+        std::fprintf(stderr,
+                     "FATAL: %s n=%d event-driven kernel differs from the "
+                     "oblivious reference\n",
+                     name, n);
+        ok = false;
+      }
+      if (row.event.evals > row.oblivious.evals) {
+        std::fprintf(stderr,
+                     "FATAL: %s n=%d event-driven kernel evaluated more "
+                     "components than the oblivious sweep (%llu > %llu)\n",
+                     name, n,
+                     static_cast<unsigned long long>(row.event.evals),
+                     static_cast<unsigned long long>(row.oblivious.evals));
+        ok = false;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  TextTable t({"bench", "n", "comb", "obliv steps/s", "event steps/s",
+               "speedup", "obliv evals/step", "event evals/step"});
+  for (const auto& r : rows) {
+    t.add_row({r.bench, std::to_string(r.num_clocks),
+               std::to_string(r.comb_components),
+               format_fixed(r.oblivious.steps_per_sec() / 1e6, 2) + "M",
+               format_fixed(r.event.steps_per_sec() / 1e6, 2) + "M",
+               format_fixed(r.event.steps_per_sec() /
+                                r.oblivious.steps_per_sec(),
+                            2) +
+                   "x",
+               format_fixed(r.oblivious.evals_per_step(), 2),
+               format_fixed(r.event.evals_per_step(), 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  {
+    std::ofstream js("BENCH_sim.json");
+    js << "{\n  \"computations\": " << kComputations
+       << ",\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      js << "    {\"bench\": \"" << r.bench
+         << "\", \"num_clocks\": " << r.num_clocks
+         << ", \"comb_components\": " << r.comb_components
+         << ",\n     \"oblivious\": {\"seconds\": " << r.oblivious.seconds
+         << ", \"steps_per_sec\": " << r.oblivious.steps_per_sec()
+         << ", \"evals_per_step\": " << r.oblivious.evals_per_step() << "}"
+         << ",\n     \"event\": {\"seconds\": " << r.event.seconds
+         << ", \"steps_per_sec\": " << r.event.steps_per_sec()
+         << ", \"evals_per_step\": " << r.event.evals_per_step() << "}"
+         << ",\n     \"speedup\": "
+         << r.event.steps_per_sec() / r.oblivious.steps_per_sec()
+         << ", \"evals_ratio\": "
+         << static_cast<double>(r.event.evals) /
+                static_cast<double>(r.oblivious.evals)
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"identical_results\": " << (ok ? "true" : "false")
+       << ",\n  \"guard\": \"event evals <= oblivious evals on every config; "
+          "results bit-identical\"\n}\n";
+  }
+  std::printf("\nwrote BENCH_sim.json (%zu configs), guard %s\n", rows.size(),
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <numeric>
 
 #include "obs/obs.hpp"
 #include "sim/equivalence.hpp"
@@ -84,15 +86,20 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
 
   ExplorationResult result;
   result.points.resize(configs.size());
+  // Single-pass evaluation: one RTL simulation per point feeds both the
+  // equivalence check (sampled outputs vs. the interpreter) and the power
+  // estimate (the same run's Activity) — the design is never simulated
+  // twice.
   auto eval_point = [&](std::size_t i) {
     obs::Span point_span("explore.point");
     const auto& [opts, label] = configs[i];
     const auto syn = synthesize(graph, sched, opts);
-    const auto rep = sim::check_equivalence(*syn.design, graph, stream);
-    MCRTL_CHECK_MSG(rep.equivalent,
-                    "explorer produced a non-equivalent design: " << rep.detail);
     sim::Simulator simulator(*syn.design);
     const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
+    const auto rep =
+        sim::check_outputs(graph, stream, res.outputs, syn.design->style_name);
+    MCRTL_CHECK_MSG(rep.equivalent,
+                    "explorer produced a non-equivalent design: " << rep.detail);
     ExplorationPoint p;
     p.options = opts;
     p.label = label;
@@ -108,8 +115,42 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
   if (jobs <= 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) eval_point(i);
   } else {
+    // Longest-first scheduling: simulation cost is dominated by the clock
+    // count (the period is the smallest multiple of n >= T+1, so higher n
+    // means more master cycles per computation), with the split allocator
+    // adding transfer machinery on top. Submitting the expensive points
+    // first keeps the work-stealing pool from being tail-blocked by one
+    // large biquad/bandpass configuration that a naive enumeration-order
+    // submission would start last.
+    std::vector<std::size_t> order(configs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    auto cost_rank = [&](std::size_t i) {
+      const SynthesisOptions& o = configs[i].first;
+      const int n = o.style == DesignStyle::MultiClock ? o.num_clocks : 1;
+      return n * 4 + (o.method == AllocMethod::Split ? 2 : 0) +
+             (o.use_latches ? 0 : 1);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cost_rank(a) > cost_rank(b);
+                     });
+    // The pool rethrows the failure of the lowest *submission* index; with
+    // a permuted submission order that is no longer the enumeration order,
+    // so errors are collected per configuration here and the earliest
+    // enumerated failure is rethrown — exactly what a serial run reports.
+    std::vector<std::exception_ptr> errors(configs.size());
     ThreadPool pool(jobs);
-    pool.parallel_for_index(configs.size(), eval_point);
+    pool.parallel_for_index(order.size(), [&](std::size_t k) {
+      const std::size_t i = order[k];
+      try {
+        eval_point(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
   obs::count("explore.points", configs.size());
 

@@ -74,7 +74,12 @@ std::size_t num_configurations(const ExplorerConfig& cfg);
 
 /// Explore `graph`/`sched`. Every point is simulated with the same input
 /// stream and checked equivalent to the golden model (throws on mismatch —
-/// a broken configuration must never be reported as a design point).
+/// a broken configuration must never be reported as a design point). Each
+/// point runs the RTL simulation exactly once: the sampled outputs feed the
+/// equivalence check and the same run's Activity feeds the power estimate.
+/// With jobs > 1, points are submitted to the pool longest-first (cost
+/// ranked by clock count and allocation method) so the pool is not
+/// tail-blocked by one expensive configuration; the result is unaffected.
 ///
 /// Determinism contract: the stimulus stream is derived from `cfg.seed`
 /// once, before any point is evaluated, and shared read-only by all

@@ -11,8 +11,9 @@
 //    off-pool thread), so traces show per-worker utilization directly.
 //  * named counters/gauges — monotonic `count()` totals (mux inputs,
 //    registers merged by left-edge, transfer variables inserted, nets,
-//    toggles, ...) and point-in-time `set_gauge()` values (points/sec,
-//    lane utilization).
+//    toggles, the settle-kernel's `sim.kernel.events_popped` /
+//    `sim.kernel.evals_skipped` work-saved pair, ...) and point-in-time
+//    `set_gauge()` values (points/sec, lane utilization).
 //  * sinks — a human summary table (`Registry::summary()`, rendered with
 //    util::table) and Chrome trace-event JSON
 //    (`Registry::chrome_trace_json()`, loadable in chrome://tracing and

@@ -136,6 +136,88 @@ std::vector<CompId> Netlist::comb_order() const {
   return order;
 }
 
+std::vector<int> Netlist::comb_levels() const {
+  // Kahn over combinational components again, but with select edges
+  // included and longest-path levels recorded. comb_order() only orders
+  // data edges; a levelized kernel must also evaluate a component after a
+  // combinational select driver, so cycles through select pins are
+  // rejected here even though comb_order() would accept them.
+  std::vector<int> level(comps_.size(), -1);
+  std::vector<unsigned> pending(comps_.size(), 0);
+  auto for_each_comb_driver = [&](const Component& c, auto&& fn) {
+    for (NetId in : c.inputs) {
+      const CompId d = nets_[in.index()].driver;
+      if (d.valid() && is_combinational(comps_[d.index()].kind)) fn(d);
+    }
+    if (c.select.valid()) {
+      const CompId d = nets_[c.select.index()].driver;
+      if (d.valid() && is_combinational(comps_[d.index()].kind)) fn(d);
+    }
+  };
+  std::vector<CompId> ready;
+  std::size_t total = 0;
+  for (const auto& c : comps_) {
+    if (!is_combinational(c.kind)) continue;
+    ++total;
+    for_each_comb_driver(c, [&](CompId) { ++pending[c.id.index()]; });
+    if (pending[c.id.index()] == 0) {
+      level[c.id.index()] = 0;
+      ready.push_back(c.id);
+    }
+  }
+  std::size_t done = 0;
+  while (!ready.empty()) {
+    const CompId cid = ready.back();
+    ready.pop_back();
+    ++done;
+    const Component& c = comps_[cid.index()];
+    if (!c.output.valid()) continue;
+    for (CompId reader : nets_[c.output.index()].readers) {
+      Component const& r = comps_[reader.index()];
+      if (!is_combinational(r.kind)) continue;
+      unsigned n_edges = static_cast<unsigned>(
+          std::count(r.inputs.begin(), r.inputs.end(), c.output));
+      if (r.select == c.output) ++n_edges;
+      if (n_edges == 0) continue;
+      level[reader.index()] =
+          std::max(level[reader.index()], level[cid.index()] + 1);
+      pending[reader.index()] -= n_edges;
+      if (pending[reader.index()] == 0) ready.push_back(reader);
+    }
+  }
+  if (done != total) {
+    throw ValidationError("netlist '" + name_ +
+                          "' has a combinational cycle (through data or "
+                          "select pins)");
+  }
+  return level;
+}
+
+std::vector<std::vector<CompId>> Netlist::comb_fanout() const {
+  std::vector<std::vector<CompId>> fanout(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    auto& out = fanout[i];
+    for (CompId reader : nets_[i].readers) {
+      const Component& r = comps_[reader.index()];
+      if (!is_combinational(r.kind)) continue;
+      // A reader pin list may name the same component several times (a mux
+      // fed twice by one net, or select + data from the same source);
+      // storage load pins are excluded because settle() never evaluates
+      // storage. Only data-input and select reads make the cut.
+      const bool reads = r.select == nets_[i].id ||
+                         std::find(r.inputs.begin(), r.inputs.end(),
+                                   nets_[i].id) != r.inputs.end();
+      if (!reads) continue;
+      if (std::find(out.begin(), out.end(), reader) == out.end()) {
+        out.push_back(reader);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](CompId a, CompId b) { return a.index() < b.index(); });
+  }
+  return fanout;
+}
+
 void Netlist::validate() const {
   for (const auto& c : comps_) {
     const auto need_inputs = [&]() -> std::size_t {

@@ -125,6 +125,23 @@ class Netlist {
   /// data inputs. Throws ValidationError on a combinational cycle.
   std::vector<CompId> comb_order() const;
 
+  /// Topological level of every combinational component, indexed by CompId
+  /// (-1 for non-combinational components). Level 0 components read only
+  /// sequential/external nets (storage outputs, ports, constants, control
+  /// sources); a component at level L has at least one combinational
+  /// driver — on a data input *or* the select pin — at level L-1 and none
+  /// deeper. Evaluating level 0, 1, 2, ... in order therefore evaluates
+  /// every component after all of its combinational drivers; the
+  /// event-driven simulator kernel buckets its worklist by this level.
+  /// Throws ValidationError on a combinational cycle.
+  std::vector<int> comb_levels() const;
+
+  /// For each net (indexed by NetId), the combinational components that
+  /// read it through a data input or the select pin, deduplicated, in
+  /// ascending CompId order. This is the "which evaluations may change
+  /// when this net toggles" index the event-driven simulator dirties from.
+  std::vector<std::vector<CompId>> comb_fanout() const;
+
   /// Design-rule checks: every input connected, single driver per net,
   /// width agreement, select present where needed, storage has a clock
   /// phase, no combinational cycles.

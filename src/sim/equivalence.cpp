@@ -1,25 +1,24 @@
 #include "sim/equivalence.hpp"
 
 #include "obs/obs.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace mcrtl::sim {
 
-EquivalenceReport check_equivalence(const rtl::Design& design,
-                                    const dfg::Graph& graph,
-                                    const InputStream& stream) {
+EquivalenceReport check_outputs(const dfg::Graph& graph,
+                                const InputStream& stream,
+                                const std::vector<OutputSample>& outputs,
+                                const std::string& style_name) {
   obs::Span span("sim.equivalence");
   EquivalenceReport rep;
-  const auto in_order = graph.inputs();
+  MCRTL_CHECK(outputs.size() == stream.size());
   const auto out_order = graph.outputs();
-
-  Simulator simulator(design);
-  const SimResult sim = simulator.run(stream, in_order, out_order);
 
   dfg::Interpreter interp(graph);
   for (std::size_t c = 0; c < stream.size(); ++c) {
     const auto golden = interp.run(stream[c]);
-    const auto& rtl_out = sim.outputs[c];
+    const auto& rtl_out = outputs[c];
     for (std::size_t o = 0; o < out_order.size(); ++o) {
       if (golden.outputs[o] != rtl_out[o]) {
         rep.equivalent = false;
@@ -29,7 +28,7 @@ EquivalenceReport check_equivalence(const rtl::Design& design,
             graph.value(out_order[o]).name.c_str(),
             static_cast<unsigned long long>(golden.outputs[o]),
             static_cast<unsigned long long>(rtl_out[o]),
-            design.style_name.c_str());
+            style_name.c_str());
         rep.computations_checked = c + 1;
         return rep;
       }
@@ -37,6 +36,15 @@ EquivalenceReport check_equivalence(const rtl::Design& design,
   }
   rep.computations_checked = stream.size();
   return rep;
+}
+
+EquivalenceReport check_equivalence(const rtl::Design& design,
+                                    const dfg::Graph& graph,
+                                    const InputStream& stream) {
+  Simulator simulator(design);
+  const SimResult sim =
+      simulator.run(stream, graph.inputs(), graph.outputs());
+  return check_outputs(graph, stream, sim.outputs, design.style_name);
 }
 
 }  // namespace mcrtl::sim

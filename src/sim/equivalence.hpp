@@ -5,6 +5,12 @@
 // allowed to change *when* things switch, never *what* is computed. The
 // checker simulates the design over an input stream and compares every
 // computation's sampled outputs against the interpreter.
+//
+// Two entry points: check_equivalence() simulates and compares in one call;
+// check_outputs() compares *already sampled* outputs, so a caller that needs
+// the simulation's Activity anyway (the explorer's power estimate) can run
+// the RTL simulation once and feed both the checker and the power model
+// from the same SimResult.
 #pragma once
 
 #include <string>
@@ -20,6 +26,16 @@ struct EquivalenceReport {
   std::size_t first_mismatch = 0;   ///< computation index (valid if !equivalent)
   std::string detail;               ///< human-readable mismatch description
 };
+
+/// Compare sampled RTL outputs (one OutputSample per computation of
+/// `stream`, in Graph::outputs() order — exactly SimResult::outputs) against
+/// the interpreter of `graph`. `style_name` only labels the mismatch
+/// message. This is the single-simulation path: the caller keeps the
+/// SimResult and its Activity.
+EquivalenceReport check_outputs(const dfg::Graph& graph,
+                                const InputStream& stream,
+                                const std::vector<OutputSample>& outputs,
+                                const std::string& style_name);
 
 /// Simulate `design` over `stream` and compare against the interpreter of
 /// `graph`. The design must have been synthesized from (a schedule of)

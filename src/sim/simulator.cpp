@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "obs/obs.hpp"
@@ -12,11 +13,116 @@ using rtl::CompId;
 using rtl::CompKind;
 using rtl::NetId;
 
-Simulator::Simulator(const rtl::Design& design)
+Simulator::Simulator(const rtl::Design& design, Mode mode)
     : design_(&design),
+      mode_(mode),
       comb_order_(design.netlist.comb_order()),
       net_value_(design.netlist.num_nets(), 0),
-      storage_q_(design.netlist.num_components(), 0) {}
+      storage_q_(design.netlist.num_components(), 0) {
+  const rtl::Netlist& nl = design.netlist;
+  storage_by_phase_.resize(static_cast<std::size_t>(design.clocks.num_phases()) +
+                           1);
+  for (const auto& c : nl.components()) {
+    if (rtl::is_storage(c.kind)) {
+      storage_by_phase_[static_cast<std::size_t>(c.clock_phase)].push_back(c.id);
+    }
+  }
+  if (mode_ == Mode::EventDriven) {
+    level_ = nl.comb_levels();
+    int max_level = -1;
+    for (int l : level_) max_level = std::max(max_level, l);
+    buckets_.resize(static_cast<std::size_t>(max_level + 1));
+    in_queue_.assign(nl.num_components(), 0);
+    const auto per_net = nl.comb_fanout();
+    fanout_offset_.reserve(per_net.size() + 1);
+    fanout_offset_.push_back(0);
+    for (const auto& readers : per_net) {
+      fanout_.insert(fanout_.end(), readers.begin(), readers.end());
+      fanout_offset_.push_back(static_cast<std::uint32_t>(fanout_.size()));
+    }
+  }
+  const rtl::ControlPlan& plan = design.control;
+  const int P = design.clocks.period();
+  for (const auto& sig : plan.signals()) {
+    const NetId net = nl.comp(sig.source).output;
+    control_lines_.emplace_back(net, sig.index);
+    control_reset_writes_.emplace_back(net, plan.line_value(sig.index, P));
+  }
+  phase_by_step_.resize(static_cast<std::size_t>(P) + 1);
+  for (int t = 1; t <= P; ++t) {
+    phase_by_step_[static_cast<std::size_t>(t)] = design.clocks.phase_of_step(t);
+  }
+  if (mode_ != Mode::EventDriven) return;  // Oblivious re-derives per step.
+  // Tabulate controller delivery once: line values repeat every period, so
+  // the per-step controller loop reduces to replaying the per-step deltas.
+  control_step_writes_.resize(static_cast<std::size_t>(P) + 1);
+  for (const auto& [net, sig_index] : control_lines_) {
+    std::uint64_t prev = plan.line_value(sig_index, P);
+    for (int t = 1; t <= P; ++t) {
+      const std::uint64_t v = plan.line_value(sig_index, t);
+      if (v != prev) {
+        control_step_writes_[static_cast<std::size_t>(t)].emplace_back(net, v);
+        prev = v;
+      }
+    }
+  }
+  // Static phase-edge schedule: valid when every storage load pin is fed by
+  // a controller line (whose per-step value is tabulated and periodic).
+  std::vector<int> sig_of_net(nl.num_nets(), -1);
+  for (const auto& sig : plan.signals()) {
+    sig_of_net[nl.comp(sig.source).output.index()] =
+        static_cast<int>(sig.index);
+  }
+  static_edges_ = true;
+  for (const auto& c : nl.components()) {
+    if (rtl::is_storage(c.kind) && c.load.valid() &&
+        sig_of_net[c.load.index()] < 0) {
+      static_edges_ = false;
+      break;
+    }
+  }
+  if (static_edges_) {
+    edge_clock_events_.resize(static_cast<std::size_t>(P) + 1);
+    edge_captures_.resize(static_cast<std::size_t>(P) + 1);
+    for (int t = 1; t <= P; ++t) {
+      const int phase = phase_by_step_[static_cast<std::size_t>(t)];
+      for (CompId cid : storage_by_phase_[static_cast<std::size_t>(phase)]) {
+        const rtl::Component& c = nl.comp(cid);
+        const bool load =
+            !c.load.valid() ||
+            plan.line_value(
+                static_cast<unsigned>(sig_of_net[c.load.index()]), t) != 0;
+        if (load || !c.clock_gated) {
+          edge_clock_events_[static_cast<std::size_t>(t)].push_back(cid);
+        }
+        if (load) edge_captures_[static_cast<std::size_t>(t)].push_back(cid);
+      }
+    }
+  }
+}
+
+// Kept small and in the same TU as write_net so the enqueue folds into the
+// settle loops instead of costing a call per changed net.
+inline void Simulator::mark_fanout_dirty(NetId net) {
+  const std::uint32_t begin = fanout_offset_[net.index()];
+  const std::uint32_t end = fanout_offset_[net.index() + 1];
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const CompId cid = fanout_[k];
+    if (in_queue_[cid.index()]) continue;
+    in_queue_[cid.index()] = 1;
+    buckets_[static_cast<std::size_t>(level_[cid.index()])].push_back(cid);
+    ++pending_;
+  }
+}
+
+void Simulator::mark_all_dirty() {
+  for (CompId cid : comb_order_) {
+    if (in_queue_[cid.index()]) continue;
+    in_queue_[cid.index()] = 1;
+    buckets_[static_cast<std::size_t>(level_[cid.index()])].push_back(cid);
+    ++pending_;
+  }
+}
 
 void Simulator::write_net(NetId net, std::uint64_t value, Activity& act,
                           bool count) {
@@ -24,34 +130,72 @@ void Simulator::write_net(NetId net, std::uint64_t value, Activity& act,
   if (old == value) return;
   if (count) act.net_toggles[net.index()] += hamming(old, value);
   net_value_[net.index()] = value;
+  if (mode_ == Mode::EventDriven) mark_fanout_dirty(net);
+}
+
+// Hot path: direct component-array indexing (CompIds are created dense and
+// validated at construction; the bounds-checked Netlist::comp() accessor is
+// for cold callers).
+std::uint64_t Simulator::eval_comp(const rtl::Component& c) const {
+  if (c.kind == CompKind::Mux || c.kind == CompKind::Bus) {
+    std::uint64_t sel = net_value_[c.select.index()];
+    MCRTL_CHECK_MSG(sel < c.inputs.size(),
+                    "mux/bus '" << c.name << "' select " << sel << " out of range");
+    return net_value_[c.inputs[sel].index()];
+  }
+  if (c.kind == CompKind::IsoGate) {
+    // Hold-mode operand isolation: transparent when enabled, otherwise
+    // the downstream ALU keeps seeing the last operand (paper §1:
+    // "holding the old input values as long as possible").
+    return net_value_[c.select.index()] != 0 ? net_value_[c.inputs[0].index()]
+                                             : net_value_[c.output.index()];
+  }
+  // Alu
+  std::uint64_t code = 0;
+  if (c.select.valid()) code = net_value_[c.select.index()];
+  MCRTL_CHECK_MSG(code < c.funcs.size(),
+                  "alu '" << c.name << "' func code " << code << " out of range");
+  const std::uint64_t a = net_value_[c.inputs[0].index()];
+  const std::uint64_t b = net_value_[c.inputs[1].index()];
+  return dfg::eval_op(c.funcs[code], a, b, c.width);
 }
 
 void Simulator::settle(Activity& act, bool count) {
-  const rtl::Netlist& nl = design_->netlist;
+  ++kernel_stats_.settles;
+  kernel_stats_.oblivious_evals += comb_order_.size();
+  if (mode_ == Mode::EventDriven) {
+    settle_event(act, count);
+  } else {
+    settle_oblivious(act, count);
+  }
+}
+
+void Simulator::settle_oblivious(Activity& act, bool count) {
+  const auto& comps = design_->netlist.components();
+  kernel_stats_.evals += comb_order_.size();
   for (CompId cid : comb_order_) {
-    const rtl::Component& c = nl.comp(cid);
-    std::uint64_t out = 0;
-    if (c.kind == CompKind::Mux || c.kind == CompKind::Bus) {
-      std::uint64_t sel = net_value_[c.select.index()];
-      MCRTL_CHECK_MSG(sel < c.inputs.size(),
-                      "mux/bus '" << c.name << "' select " << sel << " out of range");
-      out = net_value_[c.inputs[sel].index()];
-    } else if (c.kind == CompKind::IsoGate) {
-      // Hold-mode operand isolation: transparent when enabled, otherwise
-      // the downstream ALU keeps seeing the last operand (paper §1:
-      // "holding the old input values as long as possible").
-      out = net_value_[c.select.index()] != 0 ? net_value_[c.inputs[0].index()]
-                                              : net_value_[c.output.index()];
-    } else {  // Alu
-      std::uint64_t code = 0;
-      if (c.select.valid()) code = net_value_[c.select.index()];
-      MCRTL_CHECK_MSG(code < c.funcs.size(),
-                      "alu '" << c.name << "' func code " << code << " out of range");
-      const std::uint64_t a = net_value_[c.inputs[0].index()];
-      const std::uint64_t b = net_value_[c.inputs[1].index()];
-      out = dfg::eval_op(c.funcs[code], a, b, c.width);
+    const rtl::Component& c = comps[cid.index()];
+    write_net(c.output, eval_comp(c), act, count);
+  }
+}
+
+void Simulator::settle_event(Activity& act, bool count) {
+  if (pending_ == 0) return;
+  const auto& comps = design_->netlist.components();
+  // Levels are topological over every combinational-to-combinational edge
+  // (data and select), so evaluating a level-L component can only enqueue
+  // strictly deeper levels: one ascending sweep drains the whole cone.
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const CompId cid = bucket[i];
+      in_queue_[cid.index()] = 0;
+      ++kernel_stats_.evals;
+      const rtl::Component& c = comps[cid.index()];
+      write_net(c.output, eval_comp(c), act, count);
     }
-    write_net(c.output, out, act, count);
+    pending_ -= bucket.size();
+    bucket.clear();
+    if (pending_ == 0) break;
   }
 }
 
@@ -61,7 +205,7 @@ SimResult Simulator::run(const InputStream& stream,
   obs::Span span("sim.run");
   const rtl::Design& d = *design_;
   const rtl::Netlist& nl = d.netlist;
-  const rtl::ControlPlan& plan = d.control;
+  const auto& comps = nl.components();
   const int P = d.clocks.period();
   const int T = d.schedule_steps;
   const int n = d.clocks.num_phases();
@@ -73,69 +217,110 @@ SimResult Simulator::run(const InputStream& stream,
   act.storage_write_toggles.assign(nl.num_components(), 0);
   act.phase_pulses.assign(static_cast<std::size_t>(n) + 1, 0);
   if (heatmap_) heatmap_->resize(n, P);
+  const std::uint64_t evals_before = kernel_stats_.evals;
+  const std::uint64_t oblivious_before = kernel_stats_.oblivious_evals;
 
-  auto apply_inputs = [&](std::size_t comp_index, Activity& a, bool count) {
-    MCRTL_CHECK(stream[comp_index].size() == input_order.size());
-    for (std::size_t i = 0; i < input_order.size(); ++i) {
-      const CompId port = d.input_ports.at(input_order[i]);
-      const unsigned w = nl.comp(port).width;
-      write_net(nl.comp(port).output, truncate(stream[comp_index][i], w), a, count);
+  // Resolve the port maps once per run: (net, width) per input and storage
+  // component per output, in stream/sample order — the per-period loops then
+  // avoid the map lookups.
+  std::vector<std::pair<NetId, unsigned>> in_ports;
+  in_ports.reserve(input_order.size());
+  for (dfg::ValueId v : input_order) {
+    const rtl::Component& c = comps[d.input_ports.at(v).index()];
+    in_ports.emplace_back(c.output, c.width);
+  }
+  std::vector<CompId> out_storage;
+  out_storage.reserve(output_order.size());
+  for (dfg::ValueId v : output_order) {
+    out_storage.push_back(d.output_storage.at(v));
+  }
+
+  auto apply_inputs = [&](std::size_t comp_index, bool count) {
+    MCRTL_CHECK(stream[comp_index].size() == in_ports.size());
+    for (std::size_t i = 0; i < in_ports.size(); ++i) {
+      const auto& [net, w] = in_ports[i];
+      write_net(net, truncate(stream[comp_index][i], w), act, count);
     }
   };
 
   // ---- preamble (uncounted reset, then the initial input-load edge) ------
+  // Everything here passes count=false, so writing through `act` leaves it
+  // untouched — no scratch Activity copy is needed.
   {
-    Activity scratch = act;  // same shape; discarded
-    for (const auto& sig : plan.signals()) {
-      write_net(nl.comp(sig.source).output, plan.line_value(sig.index, P), scratch,
-                false);
+    // Before the first settle no net has ever been written, but components
+    // can produce nonzero outputs from all-zero inputs (e.g. an equality
+    // ALU); the event-driven kernel therefore starts from a full worklist,
+    // exactly reproducing the oblivious kernel's unconditional first pass.
+    if (mode_ == Mode::EventDriven) mark_all_dirty();
+    for (const auto& [net, value] : control_reset_writes_) {
+      write_net(net, value, act, false);
     }
-    for (const auto& c : nl.components()) {
+    for (const auto& c : comps) {
       if (c.kind == CompKind::Constant) {
-        write_net(c.output, from_signed(c.const_value, c.width), scratch, false);
+        write_net(c.output, from_signed(c.const_value, c.width), act, false);
       }
     }
-    if (!stream.empty()) apply_inputs(0, scratch, false);
-    settle(scratch, false);
+    if (!stream.empty()) apply_inputs(0, false);
+    settle(act, false);
     // Boundary edge (phase n): load the input registers for computation 0.
-    for (const auto& c : nl.components()) {
-      if (!rtl::is_storage(c.kind) || c.clock_phase != n) continue;
+    for (CompId cid : storage_by_phase_[static_cast<std::size_t>(n)]) {
+      const rtl::Component& c = comps[cid.index()];
       if (c.load.valid() && net_value_[c.load.index()] == 0) continue;
-      storage_q_[c.id.index()] = net_value_[c.inputs[0].index()];
-      write_net(c.output, storage_q_[c.id.index()], scratch, false);
+      storage_q_[cid.index()] = net_value_[c.inputs[0].index()];
+      write_net(c.output, storage_q_[cid.index()], act, false);
     }
-    settle(scratch, false);
+    settle(act, false);
   }
 
   // ---- main loop ----------------------------------------------------------
   result.outputs.reserve(stream.size());
   for (std::size_t comp = 0; comp < stream.size(); ++comp) {
     for (int t = 1; t <= P; ++t) {
-      // 1. controller drives step-t values.
-      for (const auto& sig : plan.signals()) {
-        write_net(nl.comp(sig.source).output, plan.line_value(sig.index, t), act,
-                  true);
+      // 1. controller drives step-t values. EventDriven replays the
+      // tabulated deltas (only the lines that move); Oblivious re-derives
+      // every line from the ControlPlan, as the original inner loop did.
+      if (mode_ == Mode::EventDriven) {
+        for (const auto& [net, value] :
+             control_step_writes_[static_cast<std::size_t>(t)]) {
+          write_net(net, value, act, true);
+        }
+      } else {
+        for (const auto& [net, sig_index] : control_lines_) {
+          write_net(net, d.control.line_value(sig_index, t), act, true);
+        }
       }
       // 2. at the boundary step, the environment presents the next inputs.
-      if (t == P && comp + 1 < stream.size()) apply_inputs(comp + 1, act, true);
+      if (t == P && comp + 1 < stream.size()) apply_inputs(comp + 1, true);
       // 3. combinational wave from control/input changes.
       settle(act, true);
       // 4. the phase edge ending step t.
-      const int phase = d.clocks.phase_of_step(t);
+      const int phase = phase_by_step_[static_cast<std::size_t>(t)];
       ++act.phase_pulses[static_cast<std::size_t>(phase)];
       // Capture simultaneously: read all D inputs before committing.
-      std::vector<std::pair<CompId, std::uint64_t>> captures;
-      for (const auto& c : nl.components()) {
-        if (!rtl::is_storage(c.kind) || c.clock_phase != phase) continue;
-        const bool load = !c.load.valid() || net_value_[c.load.index()] != 0;
-        if (load || !c.clock_gated) {
-          ++act.storage_clock_events[c.id.index()];
-          if (heatmap_) ++heatmap_->clock_events[heatmap_->at(phase, t)];
+      captures_.clear();
+      if (static_edges_) {
+        const auto& clocked = edge_clock_events_[static_cast<std::size_t>(t)];
+        for (CompId cid : clocked) ++act.storage_clock_events[cid.index()];
+        if (heatmap_) {
+          heatmap_->clock_events[heatmap_->at(phase, t)] += clocked.size();
         }
-        if (load) captures.emplace_back(c.id, net_value_[c.inputs[0].index()]);
+        for (CompId cid : edge_captures_[static_cast<std::size_t>(t)]) {
+          captures_.emplace_back(
+              cid, net_value_[comps[cid.index()].inputs[0].index()]);
+        }
+      } else {
+        for (CompId cid : storage_by_phase_[static_cast<std::size_t>(phase)]) {
+          const rtl::Component& c = comps[cid.index()];
+          const bool load = !c.load.valid() || net_value_[c.load.index()] != 0;
+          if (load || !c.clock_gated) {
+            ++act.storage_clock_events[cid.index()];
+            if (heatmap_) ++heatmap_->clock_events[heatmap_->at(phase, t)];
+          }
+          if (load) captures_.emplace_back(cid, net_value_[c.inputs[0].index()]);
+        }
       }
-      for (const auto& [cid, dval] : captures) {
-        const rtl::Component& c = nl.comp(cid);
+      for (const auto& [cid, dval] : captures_) {
+        const rtl::Component& c = comps[cid.index()];
         const std::uint64_t old = storage_q_[cid.index()];
         if (old != dval) {
           const auto flipped = hamming(old, dval);
@@ -152,9 +337,9 @@ SimResult Simulator::run(const InputStream& stream,
       // Sample primary outputs at the end of schedule step T.
       if (t == T) {
         OutputSample sample;
-        sample.reserve(output_order.size());
-        for (dfg::ValueId v : output_order) {
-          sample.push_back(storage_q_[d.output_storage.at(v).index()]);
+        sample.reserve(out_storage.size());
+        for (CompId cid : out_storage) {
+          sample.push_back(storage_q_[cid.index()]);
         }
         result.outputs.push_back(std::move(sample));
       }
@@ -167,6 +352,13 @@ SimResult Simulator::run(const InputStream& stream,
     obs::count("sim.net_toggles",
                std::accumulate(act.net_toggles.begin(), act.net_toggles.end(),
                                std::uint64_t{0}));
+    if (mode_ == Mode::EventDriven) {
+      const std::uint64_t popped = kernel_stats_.evals - evals_before;
+      const std::uint64_t oblivious =
+          kernel_stats_.oblivious_evals - oblivious_before;
+      obs::count("sim.kernel.events_popped", popped);
+      obs::count("sim.kernel.evals_skipped", oblivious - popped);
+    }
   }
   return result;
 }

@@ -15,6 +15,32 @@
 // Primary outputs are sampled at the end of schedule step T of each period.
 // All transitions — datapath, control lines, storage outputs, clock pins —
 // are accumulated into an Activity record for the power model.
+//
+// Two settle kernels implement step 3/5 with bit-identical results:
+//
+//  * EventDriven (default) — a levelized event-driven worklist. The
+//    constructor precomputes a net -> combinational-fanout index and a
+//    topological level per combinational component (rtl::Netlist::
+//    comb_fanout / comb_levels); write_net() enqueues the dirty fanout of
+//    every real value change into a level-bucketed worklist, and settle()
+//    drains only the affected cone in level order. In an n-clock design
+//    only ~1/n of the datapath sees new values in any master cycle (the
+//    paper's one-active-DPM property), so most components are never
+//    touched.
+//  * Oblivious — the reference kernel: re-evaluate every combinational
+//    component in topological order on every settle, re-derive every
+//    control-line value from the ControlPlan every step, and re-derive the
+//    phase-edge capture set from the live load nets at every edge — i.e.
+//    the full pre-event-kernel inner loop. Retained as the
+//    differential-testing baseline for the event-driven kernel and its
+//    precomputed control/edge schedules (and as the cost model of the
+//    `sim.kernel.evals_skipped` counter).
+//
+// Because every combinational component is a pure function of its input
+// nets and write_net() only counts transitions on real value changes, the
+// two kernels produce identical Activity, outputs and PhaseHeatmap records
+// — asserted across benchmarks, styles and fuzz graphs by
+// tests/test_sim_kernel.cpp.
 #pragma once
 
 #include <cstdint>
@@ -41,13 +67,32 @@ struct SimResult {
 
 class Simulator {
  public:
-  explicit Simulator(const rtl::Design& design);
+  /// Settle-kernel selection. EventDriven is the production kernel;
+  /// Oblivious is the retained reference path for differential testing.
+  enum class Mode { EventDriven, Oblivious };
+
+  explicit Simulator(const rtl::Design& design, Mode mode = Mode::EventDriven);
+
+  Mode mode() const { return mode_; }
 
   /// Simulate `stream.size()` computations. `output_order` lists the output
   /// values in the order samples should be emitted.
   SimResult run(const InputStream& stream,
                 const std::vector<dfg::ValueId>& input_order,
                 const std::vector<dfg::ValueId>& output_order);
+
+  /// Settle-kernel work accounting, accumulated over every run() of this
+  /// Simulator. `evals` is the number of combinational evaluations the
+  /// active kernel actually performed; `oblivious_evals` is what the
+  /// Oblivious kernel would have performed over the same settle() calls
+  /// (settles x combinational component count) — the two coincide in
+  /// Oblivious mode, and their difference is the event-driven saving.
+  struct KernelStats {
+    std::uint64_t settles = 0;
+    std::uint64_t evals = 0;
+    std::uint64_t oblivious_evals = 0;
+  };
+  const KernelStats& kernel_stats() const { return kernel_stats_; }
 
   /// Optional per-step observer: called after each step settles with
   /// (global_step, net values). Used by the VCD tracer.
@@ -63,12 +108,74 @@ class Simulator {
 
  private:
   void settle(Activity& act, bool count);
+  void settle_oblivious(Activity& act, bool count);
+  void settle_event(Activity& act, bool count);
+  std::uint64_t eval_comp(const rtl::Component& c) const;
   void write_net(rtl::NetId net, std::uint64_t value, Activity& act, bool count);
+  /// Enqueue every combinational reader of `net` that is not already
+  /// pending (event-driven mode only).
+  void mark_fanout_dirty(rtl::NetId net);
+  /// Enqueue every combinational component (the full re-evaluation the
+  /// preamble of each run() needs: before the first settle no net has ever
+  /// been written, yet components may produce nonzero outputs from
+  /// all-zero inputs).
+  void mark_all_dirty();
 
   const rtl::Design* design_;
+  Mode mode_;
   std::vector<rtl::CompId> comb_order_;
   std::vector<std::uint64_t> net_value_;
   std::vector<std::uint64_t> storage_q_;  // by CompId (storage comps only)
+
+  // Event-driven kernel state (empty in Oblivious mode). The fanout index
+  // is flattened CSR-style: readers of net i live in
+  // fanout_[fanout_offset_[i] .. fanout_offset_[i+1]).
+  std::vector<std::uint32_t> fanout_offset_;
+  std::vector<rtl::CompId> fanout_;
+  std::vector<int> level_;                      // by CompId; -1 = non-comb
+  std::vector<std::vector<rtl::CompId>> buckets_;  // worklist, by level
+  std::vector<std::uint8_t> in_queue_;          // by CompId
+  std::size_t pending_ = 0;
+
+  // Storage components grouped by clock phase 1..n (index 0 unused), in
+  // CompId order — replaces the all-components scan at every phase edge.
+  std::vector<std::vector<rtl::CompId>> storage_by_phase_;
+  // Capture scratch, hoisted out of the step loop.
+  std::vector<std::pair<rtl::CompId, std::uint64_t>> captures_;
+
+  // Controller lines as (output net, ControlPlan signal index), the
+  // Oblivious kernel's per-step delivery list (it re-derives every line
+  // value every step, as the pre-event-kernel simulator did).
+  std::vector<std::pair<rtl::NetId, unsigned>> control_lines_;
+  // EventDriven controller delivery, precomputed from ControlPlan (line
+  // values are periodic in the master period). control_step_writes_[t]
+  // (t in 1..P) holds (net, value) for exactly the signals whose line value
+  // changes between step t-1 and t (wrapping at the period boundary), so
+  // the per-step controller loop touches only moving lines; writing an
+  // unchanged line was always a no-op, so toggle counts are unaffected.
+  // control_reset_writes_ is the full boundary-state list (every signal at
+  // step P) the preamble establishes before the first computation.
+  std::vector<std::vector<std::pair<rtl::NetId, std::uint64_t>>>
+      control_step_writes_;
+  std::vector<std::pair<rtl::NetId, std::uint64_t>> control_reset_writes_;
+  // phase_of_step(t) for t in 1..P.
+  std::vector<int> phase_by_step_;
+
+  // Static phase-edge schedule (EventDriven only). Load enables are
+  // controller lines, so when every storage load net is ControlSource-driven
+  // (true for all built designs) the set of storage elements that receives a
+  // clock event / captures at period step t is a pure function of t:
+  // edge_clock_events_[t] and edge_captures_[t] list them in CompId order,
+  // and the per-step edge handling walks exactly those instead of re-deriving
+  // the sets from load nets. Falls back to the dynamic per-phase scan
+  // (static_edges_ = false) if a hand-built netlist drives a load pin from
+  // the datapath. The Oblivious kernel always uses the dynamic scan — it is
+  // the semantic reference the schedule is differentially tested against.
+  bool static_edges_ = false;
+  std::vector<std::vector<rtl::CompId>> edge_clock_events_;
+  std::vector<std::vector<rtl::CompId>> edge_captures_;
+
+  KernelStats kernel_stats_;
   StepObserver observer_;
   PhaseHeatmap* heatmap_ = nullptr;
 };

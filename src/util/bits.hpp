@@ -19,10 +19,21 @@ constexpr std::uint64_t truncate(std::uint64_t v, unsigned width) {
   return v & bit_mask(width);
 }
 
+/// Inline SWAR popcount. `std::popcount` lowers to a `__popcountdi2` libcall
+/// on baseline x86-64 builds (no -mpopcnt), and that call in the middle of
+/// the simulator's toggle-counting hot path costs more than the count
+/// itself; this version always inlines.
+constexpr unsigned popcount64(std::uint64_t x) {
+  x -= (x >> 1) & 0x5555555555555555ULL;
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return static_cast<unsigned>((x * 0x0101010101010101ULL) >> 56);
+}
+
 /// Number of bit positions that differ between two words — the quantity the
 /// transition-counting power model accumulates per net.
 constexpr unsigned hamming(std::uint64_t a, std::uint64_t b) {
-  return static_cast<unsigned>(std::popcount(a ^ b));
+  return popcount64(a ^ b);
 }
 
 /// Sign-extend a `width`-bit word into a signed 64-bit value, for arithmetic

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace mcrtl {
 namespace {
 
@@ -40,7 +42,12 @@ unsigned ThreadPool::default_concurrency() {
 }
 
 unsigned ThreadPool::resolve_jobs(int jobs) {
-  return jobs <= 0 ? default_concurrency() : static_cast<unsigned>(jobs);
+  const unsigned hw = default_concurrency();
+  if (jobs <= 0) return hw;
+  // Clamp to the core count: every pool workload here is CPU-bound, so
+  // workers beyond the cores only add context-switch overhead (the
+  // "parallel explorer slower than serial" failure mode on small hosts).
+  return std::min(static_cast<unsigned>(jobs), hw);
 }
 
 int ThreadPool::current_worker_index() { return tls_worker_index; }

@@ -48,7 +48,10 @@ class ThreadPool {
   /// hardware_concurrency, never 0.
   static unsigned default_concurrency();
 
-  /// CLI/config convention: jobs <= 0 means "auto" (default_concurrency).
+  /// CLI/config convention: jobs <= 0 means "auto" (default_concurrency);
+  /// explicit requests are clamped to default_concurrency — the pool's
+  /// workloads are CPU-bound, so extra workers beyond the cores only add
+  /// context-switch overhead.
   static unsigned resolve_jobs(int jobs);
 
   /// Worker index of the calling thread (any pool), or -1 off-pool. Lets

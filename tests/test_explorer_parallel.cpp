@@ -7,6 +7,10 @@
 #include <atomic>
 
 #include "core/explorer.hpp"
+#include "power/estimator.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -77,6 +81,45 @@ TEST(ExplorerParallelTest, OnPointHookSeesEveryConfiguration) {
   cfg.on_point = [&](const ExplorationPoint&) { seen += 1; };
   const auto r = explore(*b.graph, *b.schedule, cfg);
   EXPECT_EQ(seen.load(), r.points.size());
+}
+
+TEST(ExplorerParallelTest, SinglePassExploreMatchesTwoPassReference) {
+  // explore() now simulates each point once and feeds the equivalence
+  // check and the power model from the same run. This differential pins
+  // the behaviour to the original two-pass recipe: synthesize, verify via
+  // check_equivalence (its own simulation), simulate *again* for power —
+  // every point value must be bit-identical to the single-pass result.
+  const auto b = suite::by_name("facet", 4);
+  const auto cfg = base_config(1);
+  const auto explored = explore(*b.graph, *b.schedule, cfg);
+
+  Rng rng(cfg.seed);
+  const auto stream = sim::uniform_stream(rng, b.graph->inputs().size(),
+                                          cfg.computations, b.graph->width());
+  const auto tech = power::TechLibrary::cmos08();
+  const auto configs = enumerate_configurations(cfg);
+  ASSERT_EQ(configs.size(), explored.points.size());
+  for (const auto& [opts, label] : configs) {
+    const auto syn = synthesize(*b.graph, *b.schedule, opts);
+    const auto rep = sim::check_equivalence(*syn.design, *b.graph, stream);
+    ASSERT_TRUE(rep.equivalent) << label << ": " << rep.detail;
+    sim::Simulator simulator(*syn.design);
+    const auto res = simulator.run(stream, b.graph->inputs(), b.graph->outputs());
+    const auto power =
+        power::estimate_power(*syn.design, res.activity, tech, cfg.power_params);
+    const auto area = power::estimate_area(*syn.design, tech);
+    bool found = false;
+    for (const auto& p : explored.points) {
+      if (p.label != label) continue;
+      found = true;
+      EXPECT_EQ(p.power.total, power.total) << label;
+      EXPECT_EQ(p.power.combinational, power.combinational) << label;
+      EXPECT_EQ(p.power.storage, power.storage) << label;
+      EXPECT_EQ(p.power.clock_tree, power.clock_tree) << label;
+      EXPECT_EQ(p.area.total, area.total) << label;
+    }
+    EXPECT_TRUE(found) << label;
+  }
 }
 
 TEST(ExplorerParallelTest, WorkerExceptionPropagatesOutOfExplore) {

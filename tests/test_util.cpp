@@ -272,7 +272,10 @@ TEST(ThreadPoolTest, SubmitAndDrainOnDestruction) {
 }
 
 TEST(ThreadPoolTest, ResolveJobs) {
-  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+  // Explicit requests are clamped to the core count: oversubscribing a
+  // CPU-bound pool only adds scheduling overhead.
+  EXPECT_EQ(ThreadPool::resolve_jobs(3),
+            std::min(3u, ThreadPool::default_concurrency()));
   EXPECT_EQ(ThreadPool::resolve_jobs(1), 1u);
   EXPECT_EQ(ThreadPool::resolve_jobs(0), ThreadPool::default_concurrency());
   EXPECT_EQ(ThreadPool::resolve_jobs(-5), ThreadPool::default_concurrency());
