@@ -7,8 +7,14 @@
 // parallel speedup and to assert the determinism contract: the two runs
 // must agree bit-for-bit on labels, power, area and Pareto flags.
 //
+// The facet benchmark additionally runs a checkpoint/resume leg: a
+// journalled sweep is interrupted partway, resumed, and the resumed run's
+// CSV/JSON exports are asserted byte-identical to the uninterrupted run
+// (timings and replay counts land in BENCH_explorer.json under "resume").
+//
 // Writes: mcrtl_exploration.csv, mcrtl_exploration.json, BENCH_explorer.json
 // (cwd).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include "obs/obs.hpp"
 #include "power/report.hpp"
 #include "suite/benchmarks.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -30,6 +37,27 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// The report rows for one exploration result (same mapping the main loop
+/// uses), so two results can be compared as the *bytes* of their exports.
+std::vector<power::ExperimentRecord> to_records(
+    const core::ExplorationResult& r, const char* name,
+    std::size_t computations) {
+  std::vector<power::ExperimentRecord> recs;
+  for (const auto& p : r.points) {
+    power::ExperimentRecord rec;
+    rec.experiment = std::string("explore_") + name;
+    rec.design = p.label;
+    rec.benchmark = name;
+    rec.width = 4;
+    rec.computations = computations;
+    rec.power = p.power;
+    rec.area = p.area;
+    rec.stats = p.stats;
+    recs.push_back(std::move(rec));
+  }
+  return recs;
 }
 
 bool identical(const core::ExplorationResult& a,
@@ -70,6 +98,12 @@ int main(int argc, char** argv) {
     double traced_s = 0;  ///< parallel again, with obs:: collection on
   };
   std::vector<BenchTiming> timings;
+  struct ResumeStats {
+    std::size_t completed_before_interrupt = 0;
+    std::size_t replayed = 0;
+    double interrupted_s = 0;
+    double resumed_s = 0;
+  } resume;
   const auto wall0 = std::chrono::steady_clock::now();
 
   for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
@@ -118,6 +152,61 @@ int main(int argc, char** argv) {
       return 1;
     }
     timings.push_back(tm);
+
+    if (std::strcmp(name, "facet") == 0) {
+      // Checkpoint/resume leg: journal a sweep, interrupt it partway via a
+      // throwing progress hook (quarantine is off, so it aborts explore()
+      // exactly like a crash would — the journal holds only fsync'd,
+      // completed points), then resume on the pool and demand the resumed
+      // run's CSV/JSON exports match the uninterrupted serial run BYTE for
+      // byte.
+      const char* journal = "bench_explorer_resume.journal";
+      std::remove(journal);
+      core::ExplorerConfig ck = cfg;
+      ck.checkpoint_file = journal;
+      ck.jobs = 1;  // deterministic interruption point
+      const std::size_t interrupt_after = core::num_configurations(ck) / 2;
+      std::atomic<std::size_t> completed{0};
+      ck.on_point = [&](const core::ExplorationPoint&) {
+        if (completed.fetch_add(1) + 1 == interrupt_after) {
+          throw mcrtl::Error("bench: simulated interruption");
+        }
+      };
+      t0 = std::chrono::steady_clock::now();
+      bool interrupted = false;
+      try {
+        core::explore(*b.graph, *b.schedule, ck);
+      } catch (const mcrtl::Error&) {
+        interrupted = true;
+      }
+      resume.interrupted_s = seconds_since(t0);
+      if (!interrupted) {
+        std::fprintf(stderr, "FATAL: facet interruption hook never fired\n");
+        return 1;
+      }
+      ck.on_point = nullptr;
+      ck.jobs = static_cast<int>(resolved_jobs);
+      t0 = std::chrono::steady_clock::now();
+      const auto resumed = core::explore(*b.graph, *b.schedule, ck);
+      resume.resumed_s = seconds_since(t0);
+      resume.completed_before_interrupt = interrupt_after;
+      resume.replayed = resumed.replayed_points;
+      const auto ref = to_records(serial, name, cfg.computations);
+      const auto res = to_records(resumed, name, cfg.computations);
+      if (power::to_csv(ref) != power::to_csv(res) ||
+          power::to_json(ref) != power::to_json(res)) {
+        std::fprintf(stderr,
+                     "FATAL: facet resumed exploration reports are not "
+                     "byte-identical to the uninterrupted run\n");
+        return 1;
+      }
+      std::remove(journal);
+      std::printf("facet resume: %zu points journalled before interrupt, "
+                  "%zu replayed, reports byte-identical "
+                  "(interrupted %.2fs + resumed %.2fs vs serial %.2fs)\n",
+                  resume.completed_before_interrupt, resume.replayed,
+                  resume.interrupted_s, resume.resumed_s, tm.serial_s);
+    }
 
     std::printf("%s:  (serial %.2fs, %u jobs %.2fs, %.2fx; traced %.2fs)\n",
                 name, tm.serial_s, resolved_jobs,
@@ -181,6 +270,13 @@ int main(int argc, char** argv) {
        << ",\n  \"speedup_total\": " << serial_total / parallel_total
        << ",\n  \"points_per_second_total\": " << total_points / parallel_total
        << ",\n  \"wall_seconds\": " << seconds_since(wall0);
+    js << ",\n  \"resume\": {\"benchmark\": \"facet\", "
+       << "\"completed_before_interrupt\": "
+       << resume.completed_before_interrupt
+       << ", \"replayed\": " << resume.replayed
+       << ", \"interrupted_seconds\": " << resume.interrupted_s
+       << ", \"resumed_seconds\": " << resume.resumed_s
+       << ", \"byte_identical_reports\": true}";
     // Per-phase profile of the traced runs (all benchmarks accumulated):
     // where synthesis/verification/simulation wall time actually goes.
     js << ",\n  \"phases\": {";

@@ -1,0 +1,333 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "dfg/textio.hpp"
+#include "util/fault_injection.hpp"
+#include "util/strings.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace mcrtl::core {
+
+namespace {
+
+constexpr const char* kMagic = "mcrtl-journal v1 fp=";
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Space-free token encoding for labels: bytes outside the printable ASCII
+/// range, '%' and ' ' become %XX. Prefixed with "s:" so an empty string is
+/// still a well-formed token.
+std::string encode_str(const std::string& s) {
+  std::string out = "s:";
+  for (unsigned char c : s) {
+    if (c > 0x20 && c < 0x7f && c != '%') {
+      out += static_cast<char>(c);
+    } else {
+      out += str_format("%%%02x", c);
+    }
+  }
+  return out;
+}
+
+bool decode_str(const std::string& tok, std::string& out) {
+  if (tok.rfind("s:", 0) != 0) return false;
+  out.clear();
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    if (tok[i] == '%') {
+      if (i + 2 >= tok.size()) return false;
+      unsigned v = 0;
+      for (int k = 1; k <= 2; ++k) {
+        const char c = tok[i + static_cast<std::size_t>(k)];
+        v <<= 4;
+        if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+        else return false;
+      }
+      out += static_cast<char>(v);
+      i += 2;
+    } else {
+      out += tok[i];
+    }
+  }
+  return true;
+}
+
+std::string encode_double(double d) {
+  return str_format("%016llx", static_cast<unsigned long long>(
+                                   std::bit_cast<std::uint64_t>(d)));
+}
+
+bool decode_double(const std::string& tok, double& out) {
+  if (tok.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : tok) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+/// The journalled payload of one record, without the leading "p " and the
+/// trailing checksum.
+std::string record_payload(std::size_t index, const ExplorationPoint& p) {
+  std::ostringstream os;
+  os << index << ' ' << encode_str(p.label);
+  const double pow[] = {p.power.combinational, p.power.storage,
+                        p.power.clock_tree,    p.power.control,
+                        p.power.io,            p.power.leakage,
+                        p.power.total};
+  for (double d : pow) os << ' ' << encode_double(d);
+  const double area[] = {p.area.alus,       p.area.storage, p.area.muxes,
+                         p.area.controller, p.area.io,      p.area.clocking,
+                         p.area.fixed,      p.area.total};
+  for (double d : area) os << ' ' << encode_double(d);
+  os << ' ' << encode_str(p.stats.alu_summary) << ' ' << p.stats.num_alus
+     << ' ' << p.stats.num_memory_cells << ' ' << p.stats.num_mux_inputs
+     << ' ' << p.stats.num_muxes << ' ' << p.stats.num_clocks;
+  return os.str();
+}
+
+std::string record_line(std::size_t index, const ExplorationPoint& p) {
+  const std::string payload = record_payload(index, p);
+  return "p " + payload + ' ' +
+         str_format("%016llx",
+                    static_cast<unsigned long long>(fnv1a64(payload))) +
+         '\n';
+}
+
+/// Parse one complete record line. Returns false (leaving `index`/`point`
+/// untouched as far as the caller is concerned) on any malformation.
+bool parse_record(const std::string& line, std::size_t& index,
+                  ExplorationPoint& point) {
+  if (line.rfind("p ", 0) != 0) return false;
+  const std::size_t crc_sep = line.rfind(' ');
+  if (crc_sep == std::string::npos || crc_sep < 2) return false;
+  const std::string payload = line.substr(2, crc_sep - 2);
+  const std::string crc_tok = line.substr(crc_sep + 1);
+  double crc_probe;  // reuse the 16-hex decoder for the checksum field
+  if (!decode_double(crc_tok, crc_probe)) return false;
+  if (std::bit_cast<std::uint64_t>(crc_probe) != fnv1a64(payload)) return false;
+
+  const auto toks = split_tokens(payload);
+  // index, label, 7 power, 8 area, alu_summary, 5 stats ints = 23 tokens.
+  if (toks.size() != 23) return false;
+  char* end = nullptr;
+  errno = 0;
+  index = static_cast<std::size_t>(std::strtoull(toks[0].c_str(), &end, 10));
+  if (errno != 0 || end == toks[0].c_str() || *end != '\0') return false;
+  if (!decode_str(toks[1], point.label)) return false;
+  double* pow[] = {&point.power.combinational, &point.power.storage,
+                   &point.power.clock_tree,    &point.power.control,
+                   &point.power.io,            &point.power.leakage,
+                   &point.power.total};
+  for (std::size_t k = 0; k < 7; ++k) {
+    if (!decode_double(toks[2 + k], *pow[k])) return false;
+  }
+  double* area[] = {&point.area.alus,       &point.area.storage,
+                    &point.area.muxes,      &point.area.controller,
+                    &point.area.io,         &point.area.clocking,
+                    &point.area.fixed,      &point.area.total};
+  for (std::size_t k = 0; k < 8; ++k) {
+    if (!decode_double(toks[9 + k], *area[k])) return false;
+  }
+  if (!decode_str(toks[17], point.stats.alu_summary)) return false;
+  int* ints[] = {&point.stats.num_alus, &point.stats.num_memory_cells,
+                 &point.stats.num_mux_inputs, &point.stats.num_muxes,
+                 &point.stats.num_clocks};
+  for (std::size_t k = 0; k < 5; ++k) {
+    const std::string& t = toks[18 + k];
+    errno = 0;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (errno != 0 || end == t.c_str() || *end != '\0') return false;
+    *ints[k] = static_cast<int>(v);
+  }
+  return true;
+}
+
+std::string header_line(std::uint64_t fp) {
+  return std::string(kMagic) +
+         str_format("%016llx", static_cast<unsigned long long>(fp)) + '\n';
+}
+
+/// Classify the first line of an existing journal file.
+enum class HeaderState { Missing, Matches, Mismatch };
+
+HeaderState read_header(const std::string& path, std::uint64_t fp) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return HeaderState::Missing;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const std::size_t nl = content.find('\n');
+  // An incomplete first line (crash before the header fsync finished) is
+  // treated as no journal at all.
+  if (nl == std::string::npos) return HeaderState::Missing;
+  const std::string first = content.substr(0, nl);
+  if (first.rfind(kMagic, 0) != 0) return HeaderState::Missing;
+  std::string expected = header_line(fp);
+  expected.pop_back();  // drop the '\n'
+  return first == expected ? HeaderState::Matches : HeaderState::Mismatch;
+}
+
+void fsync_file(std::FILE* f) {
+  if (std::fflush(f) != 0) throw Error("journal flush failed");
+#ifndef _WIN32
+  if (::fsync(fileno(f)) != 0) throw Error("journal fsync failed");
+#endif
+}
+
+}  // namespace
+
+std::uint64_t CheckpointJournal::fingerprint(const ExplorerConfig& cfg,
+                                             const dfg::Graph& graph,
+                                             const dfg::Schedule& sched) {
+  std::ostringstream os;
+  os << "mcrtl-explorer-v1\n" << dfg::serialize_dfg(graph, &sched) << '\n'
+     << cfg.max_clocks << ' ' << cfg.include_conventional << ' '
+     << cfg.include_split << ' ' << cfg.include_dff_variant << ' '
+     << cfg.computations << ' ' << cfg.seed << ' '
+     << encode_double(cfg.power_params.vdd) << ' '
+     << encode_double(cfg.power_params.f_master) << ' '
+     << encode_double(cfg.power_params.leakage_mw_per_mlambda2) << ' '
+     << cfg.power_params.include_controller_fsm << '\n';
+  // The enumerated labels pin the enumeration logic itself: if a future
+  // library version enumerates differently, old journals are stale.
+  for (const auto& [opts, label] : enumerate_configurations(cfg)) {
+    (void)opts;
+    os << label << '\n';
+  }
+  return fnv1a64(os.str());
+}
+
+CheckpointJournal::LoadResult CheckpointJournal::load(
+    const std::string& path, std::uint64_t fp,
+    const std::vector<std::pair<SynthesisOptions, std::string>>& configs) {
+  fault::inject("journal.load");
+  LoadResult res;
+  res.points.resize(configs.size());
+  switch (read_header(path, fp)) {
+    case HeaderState::Missing:
+      return res;
+    case HeaderState::Mismatch:
+      throw JournalMismatchError(
+          "checkpoint journal '" + path +
+          "' was written by a different exploration configuration; refusing "
+          "to resume (delete it or pass a matching ExplorerConfig)");
+    case HeaderState::Matches:
+      break;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint journal '" + path + "'");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = content.find('\n') + 1;  // skip the verified header
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    // A line without its terminating newline is the torn tail of a crashed
+    // append: stop replaying here.
+    if (nl == std::string::npos) break;
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    std::size_t index;
+    ExplorationPoint point;
+    // Append-only files can only be damaged at the tail, so the first bad
+    // record ends the replay.
+    if (!parse_record(line, index, point)) break;
+    if (index >= configs.size() || point.label != configs[index].second) break;
+    point.options = configs[index].first;
+    point.pareto = false;  // recomputed after the sweep
+    if (!res.points[index]) ++res.replayed;
+    res.points[index] = std::move(point);
+  }
+  return res;
+}
+
+CheckpointJournal::CheckpointJournal(const std::string& path,
+                                     std::uint64_t fp) {
+  switch (read_header(path, fp)) {
+    case HeaderState::Mismatch:
+      throw JournalMismatchError("checkpoint journal '" + path +
+                                 "' belongs to a different exploration");
+    case HeaderState::Matches:
+      f_ = std::fopen(path.c_str(), "ab");
+      break;
+    case HeaderState::Missing: {
+      f_ = std::fopen(path.c_str(), "wb");
+      if (!f_) break;
+      const std::string hdr = header_line(fp);
+      try {
+        if (std::fwrite(hdr.data(), 1, hdr.size(), f_) != hdr.size()) {
+          throw Error("journal header write failed");
+        }
+        fsync_file(f_);
+      } catch (...) {
+        std::fclose(f_);
+        f_ = nullptr;
+      }
+      break;
+    }
+  }
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  std::lock_guard<std::mutex> lk(m_);
+  if (f_) std::fclose(f_);
+  f_ = nullptr;
+}
+
+bool CheckpointJournal::ok() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return f_ != nullptr;
+}
+
+bool CheckpointJournal::append(std::size_t index,
+                               const ExplorationPoint& point) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (!f_) return false;
+  const std::string line = record_line(index, point);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      fault::inject("journal.append");
+      // One fwrite per record keeps the torn-write window to a single line,
+      // which load() is built to tolerate.
+      if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
+        throw Error("journal record write failed");
+      }
+      fsync_file(f_);
+      return true;
+    } catch (const std::exception&) {
+      std::clearerr(f_);
+    }
+  }
+  // Persistent I/O failure: stop journaling, keep sweeping.
+  std::fclose(f_);
+  f_ = nullptr;
+  return false;
+}
+
+}  // namespace mcrtl::core

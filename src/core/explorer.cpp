@@ -1,14 +1,19 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <memory>
 #include <numeric>
+#include <thread>
 
+#include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,8 +89,42 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
   // for any thread count.
   const auto configs = enumerate_configurations(cfg);
 
+  // Checkpoint replay: restore journalled points into their slots before
+  // anything is scheduled. A stale journal (different configuration) is a
+  // hard error; an unreadable one degrades to a fresh sweep.
+  std::vector<std::optional<ExplorationPoint>> replayed(configs.size());
+  std::unique_ptr<CheckpointJournal> journal;
+  std::size_t replayed_count = 0;
+  if (!cfg.checkpoint_file.empty()) {
+    const std::uint64_t fp = CheckpointJournal::fingerprint(cfg, graph, sched);
+    {
+      obs::Span replay_span("explore.journal.replay");
+      try {
+        auto loaded = CheckpointJournal::load(cfg.checkpoint_file, fp, configs);
+        replayed = std::move(loaded.points);
+        replayed_count = loaded.replayed;
+      } catch (const JournalMismatchError&) {
+        throw;
+      } catch (const std::exception&) {
+        obs::count("explore.journal.errors");
+      }
+    }
+    journal = std::make_unique<CheckpointJournal>(cfg.checkpoint_file, fp);
+    if (replayed_count > 0) {
+      obs::count("explore.journal.replayed", replayed_count);
+    }
+  }
+
   ExplorationResult result;
   result.points.resize(configs.size());
+  result.replayed_points = replayed_count;
+  std::vector<std::unique_ptr<FailedPoint>> failed(configs.size());
+  // Slots that completed (successfully, by replay, or by quarantine).
+  // Written by at most one worker per slot; read only after the join (or an
+  // abandoned pool run, whose parallel_for_index still completes every
+  // submitted task before rethrowing).
+  std::vector<char> done(configs.size(), 0);
+
   // Single-pass evaluation: one RTL simulation per point feeds both the
   // equivalence check (sampled outputs vs. the interpreter) and the power
   // estimate (the same run's Activity) — the design is never simulated
@@ -95,6 +134,13 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     const auto& [opts, label] = configs[i];
     const auto syn = synthesize(graph, sched, opts);
     sim::Simulator simulator(*syn.design);
+    if (cfg.point_timeout_s > 0) {
+      simulator.set_deadline(std::chrono::steady_clock::now() +
+                             std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(
+                                     cfg.point_timeout_s)));
+    }
     const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
     const auto rep =
         sim::check_outputs(graph, stream, res.outputs, syn.design->style_name);
@@ -108,12 +154,56 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     p.area = power::estimate_area(*syn.design, tech);
     p.stats = syn.design->stats;
     result.points[i] = std::move(p);
+  };
+
+  // One slot, end to end: replay or evaluate with the retry/backoff loop,
+  // then journal and report. Only on_point exceptions (caller code) and —
+  // with quarantine off — exhausted evaluation failures escape.
+  auto run_point = [&](std::size_t i) {
+    if (replayed[i]) {
+      result.points[i] = std::move(*replayed[i]);
+      done[i] = 1;
+      if (cfg.on_point) cfg.on_point(result.points[i]);
+      return;
+    }
+    const int max_attempts = 1 + std::max(0, cfg.max_retries);
+    for (int attempt = 1;; ++attempt) {
+      try {
+        fault::inject("explore.point", configs[i].second);
+        eval_point(i);
+        break;
+      } catch (const std::exception& e) {
+        if (attempt < max_attempts) {
+          obs::count("explore.retries");
+          if (cfg.retry_backoff_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                                              std::milli>(
+                cfg.retry_backoff_ms * static_cast<double>(1ll << (attempt - 1))));
+          }
+          continue;
+        }
+        if (!cfg.quarantine) throw;
+        failed[i] = std::make_unique<FailedPoint>(
+            FailedPoint{configs[i].first, configs[i].second, e.what(), attempt});
+        done[i] = 1;
+        obs::count("explore.quarantined");
+        return;
+      }
+    }
+    done[i] = 1;
+    if (journal) {
+      if (journal->append(i, result.points[i])) {
+        obs::count("explore.journal.appended");
+      } else {
+        obs::count("explore.journal.errors");
+      }
+    }
     if (cfg.on_point) cfg.on_point(result.points[i]);
   };
 
   const unsigned jobs = ThreadPool::resolve_jobs(cfg.jobs);
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) eval_point(i);
+    for (std::size_t i = 0; i < configs.size(); ++i) run_point(i);
   } else {
     // Longest-first scheduling: simulation cost is dominated by the clock
     // count (the period is the smallest multiple of n >= T+1, so higher n
@@ -140,19 +230,51 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     // enumerated failure is rethrown — exactly what a serial run reports.
     std::vector<std::exception_ptr> errors(configs.size());
     ThreadPool pool(jobs);
-    pool.parallel_for_index(order.size(), [&](std::size_t k) {
-      const std::size_t i = order[k];
-      try {
-        eval_point(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
+    try {
+      pool.parallel_for_index(order.size(), [&](std::size_t k) {
+        const std::size_t i = order[k];
+        try {
+          run_point(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    } catch (...) {
+      // Only the pool infrastructure itself can throw here (run_point
+      // catches everything): e.g. the `pool.task` injection site firing
+      // before a task body ran. With quarantine on, those slots are still
+      // un-done and re-run inline below; otherwise the historical contract
+      // is to propagate.
+      if (!cfg.quarantine) throw;
+    }
     for (const auto& e : errors) {
       if (e) std::rethrow_exception(e);
     }
+    if (cfg.quarantine) {
+      // Degraded mode: any slot the pool never executed (task-level fault)
+      // runs inline on this thread — slower, but the sweep completes.
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (!done[i]) run_point(i);
+      }
+    }
   }
   obs::count("explore.points", configs.size());
+
+  // Quarantined slots hold default-constructed points; compact them out in
+  // enumeration order before the sort.
+  if (std::any_of(failed.begin(), failed.end(),
+                  [](const auto& f) { return f != nullptr; })) {
+    std::vector<ExplorationPoint> kept;
+    kept.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (failed[i]) {
+        result.failed_points.push_back(std::move(*failed[i]));
+      } else {
+        kept.push_back(std::move(result.points[i]));
+      }
+    }
+    result.points = std::move(kept);
+  }
 
   obs::Span sort_span("explore.sort");
   std::stable_sort(result.points.begin(), result.points.end(),

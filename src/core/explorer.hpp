@@ -47,13 +47,57 @@ struct ExplorerConfig {
   /// final sort (i.e. in no particular order). With jobs > 1 it is invoked
   /// concurrently from worker threads; the callback must be thread-safe.
   /// Exceptions thrown here propagate out of explore() like any evaluation
-  /// failure.
+  /// failure (they are never retried or quarantined — the hook is caller
+  /// code, not a design point). Points replayed from the checkpoint
+  /// journal are reported through the hook like freshly evaluated ones.
   std::function<void(const ExplorationPoint&)> on_point;
+
+  // ---- crash safety / fault isolation (see DESIGN.md §9) -------------------
+  /// Append-only checkpoint journal (core/checkpoint.hpp). Empty =
+  /// disabled. When set, completed points are journalled (fsync'd) as they
+  /// finish, and a re-run with the same configuration replays them instead
+  /// of re-evaluating — the resumed result is byte-identical to an
+  /// uninterrupted run. A journal written by a *different* configuration
+  /// throws JournalMismatchError; an unreadable journal degrades to a
+  /// fresh sweep.
+  std::string checkpoint_file;
+  /// Extra evaluation attempts after a failed one (0 = fail on first
+  /// error). Retries target transient faults; a deterministic failure will
+  /// fail every attempt and then throw or be quarantined.
+  int max_retries = 0;
+  /// Backoff before the first retry in milliseconds, doubled per further
+  /// attempt. 0 = retry immediately.
+  double retry_backoff_ms = 0.0;
+  /// Fault isolation: instead of aborting the sweep, record a
+  /// configuration whose attempts are exhausted in
+  /// ExplorationResult::failed_points and keep going. Off by default — the
+  /// historical contract (the earliest enumerated failure is thrown) is
+  /// unchanged unless requested.
+  bool quarantine = false;
+  /// Per-point deadline in seconds (0 = none), enforced cooperatively
+  /// inside the simulation loop (sim::Simulator::set_deadline). An expired
+  /// point fails with mcrtl::TimeoutError and follows the normal
+  /// retry/quarantine path.
+  double point_timeout_s = 0.0;
+};
+
+/// A configuration that exhausted its attempts under
+/// ExplorerConfig::quarantine.
+struct FailedPoint {
+  SynthesisOptions options;
+  std::string label;
+  std::string error;  ///< what() of the last attempt's failure
+  int attempts = 0;
 };
 
 /// Result of an exploration.
 struct ExplorationResult {
   std::vector<ExplorationPoint> points;  ///< sorted by ascending power
+  /// Quarantined configurations (ExplorerConfig::quarantine), in
+  /// enumeration order. Always empty when quarantine is off.
+  std::vector<FailedPoint> failed_points;
+  /// Points restored from the checkpoint journal instead of re-evaluated.
+  std::size_t replayed_points = 0;
 
   /// Lowest-power point whose total area is <= `area_budget` (λ²);
   /// nullopt if none fits.
@@ -89,6 +133,16 @@ std::size_t num_configurations(const ExplorerConfig& cfg);
 /// ExplorationResult is therefore bit-identical for every `jobs` value.
 /// If several points fail, the exception of the *earliest* configuration
 /// in enumeration order is thrown — the same one a serial run reports.
+///
+/// Crash safety: with `cfg.checkpoint_file` set, every completed point is
+/// journalled before the sweep moves on, and a re-run replays the journal
+/// and evaluates only what is missing; the returned result (and hence any
+/// CSV/JSON report derived from it) is byte-identical to an uninterrupted
+/// run, for any jobs value on either side of the interruption. With
+/// `cfg.quarantine` set, failing configurations (including per-point
+/// deadline expiries and thread-pool task faults, which degrade to an
+/// inline re-run) are collected into `failed_points` instead of aborting
+/// the sweep.
 ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
                           const ExplorerConfig& cfg = {});
 

@@ -7,6 +7,7 @@
 #include "core/partition.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/strings.hpp"
 
 namespace mcrtl::core {
@@ -75,6 +76,7 @@ SynthesisResult allocate_integrated(const dfg::Graph& graph,
                                     const dfg::Schedule& sched,
                                     const IntegratedOptions& opts) {
   obs::Span span("alloc.integrated");
+  fault::inject("alloc.integrated");
   MCRTL_CHECK(opts.num_clocks >= 1);
   sched.validate();
 

@@ -6,6 +6,7 @@
 #include "core/partition.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace mcrtl::core {
 
@@ -102,6 +103,7 @@ int split_latch_conflicts(std::vector<std::vector<ValueId>>& groups,
 SplitResult allocate_split(const dfg::Graph& graph, const dfg::Schedule& sched,
                            const SplitOptions& opts) {
   obs::Span span("alloc.split");
+  fault::inject("alloc.split");
   MCRTL_CHECK(opts.num_clocks >= 1);
   sched.validate();
   const int n = opts.num_clocks;

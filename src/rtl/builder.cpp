@@ -5,6 +5,7 @@
 #include "obs/obs.hpp"
 #include "rtl/design.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/strings.hpp"
 
 namespace mcrtl::rtl {
@@ -296,6 +297,7 @@ void create_storage_inputs(Lowering& L) {
 
 Design build_design(const alloc::Binding& binding, const BuildOptions& opts) {
   obs::Span span("rtl.build_design");
+  fault::inject("rtl.build");
   Lowering L(binding, opts);
   create_io_and_constants(L);
   create_storage(L);

@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace mcrtl::sim {
 
@@ -203,6 +204,7 @@ SimResult Simulator::run(const InputStream& stream,
                          const std::vector<dfg::ValueId>& input_order,
                          const std::vector<dfg::ValueId>& output_order) {
   obs::Span span("sim.run");
+  fault::inject("sim.run");
   const rtl::Design& d = *design_;
   const rtl::Netlist& nl = d.netlist;
   const auto& comps = nl.components();
@@ -275,6 +277,14 @@ SimResult Simulator::run(const InputStream& stream,
   // ---- main loop ----------------------------------------------------------
   result.outputs.reserve(stream.size());
   for (std::size_t comp = 0; comp < stream.size(); ++comp) {
+    // One clock read per master period — cheap against the period's settle
+    // work, frequent enough that a stuck point is caught within one
+    // computation.
+    if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+      throw TimeoutError("simulation exceeded its point deadline after " +
+                         std::to_string(comp) + " of " +
+                         std::to_string(stream.size()) + " computations");
+    }
     for (int t = 1; t <= P; ++t) {
       // 1. controller drives step-t values. EventDriven replays the
       // tabulated deltas (only the lines that move); Oblivious re-derives

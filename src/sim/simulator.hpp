@@ -43,6 +43,7 @@
 // tests/test_sim_kernel.cpp.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -105,6 +106,16 @@ class Simulator {
   /// delivered clock edges per (phase, period step). Pass nullptr to
   /// detach; no collection cost when detached.
   void set_heatmap(PhaseHeatmap* hm) { heatmap_ = hm; }
+
+  /// Cooperative deadline: run() checks the clock once per computation
+  /// (i.e. once per master period) and throws mcrtl::TimeoutError when the
+  /// deadline has passed — the hook behind the explorer's --point-timeout,
+  /// turning a pathologically slow configuration into an ordinary
+  /// retryable/quarantinable failure instead of a hung sweep.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
 
  private:
   void settle(Activity& act, bool count);
@@ -178,6 +189,8 @@ class Simulator {
   KernelStats kernel_stats_;
   StepObserver observer_;
   PhaseHeatmap* heatmap_ = nullptr;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
 };
 
 }  // namespace mcrtl::sim

@@ -33,6 +33,14 @@ class SynthesisError : public Error {
   explicit SynthesisError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a cooperative deadline expires (e.g. the explorer's
+/// per-point --point-timeout, checked inside the simulation loop). A
+/// deadline expiry is retryable/quarantinable like any other point failure.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {

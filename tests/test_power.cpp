@@ -277,5 +277,140 @@ TEST(BreakdownStringsTest, HumanReadable) {
   EXPECT_NE(m.area.to_string().find("alus"), std::string::npos);
 }
 
+// ---- TechLibrary properties -------------------------------------------------
+// The estimators trust the library blindly, so its qualitative shape is
+// pinned here as properties over the whole parameter range rather than a
+// handful of spot values: every cost is monotone in bit-width and fan-in,
+// and degenerate sizes behave (zero width/fan-in costs nothing, one bit
+// costs something).
+
+namespace {
+
+const std::vector<dfg::Op> kAllOps = {
+    dfg::Op::Add, dfg::Op::Sub, dfg::Op::Mul, dfg::Op::Div, dfg::Op::Mod,
+    dfg::Op::And, dfg::Op::Or,  dfg::Op::Xor, dfg::Op::Not, dfg::Op::Neg,
+    dfg::Op::Shl, dfg::Op::Shr, dfg::Op::Lt,  dfg::Op::Gt,  dfg::Op::Le,
+    dfg::Op::Ge,  dfg::Op::Eq,  dfg::Op::Ne,  dfg::Op::Min, dfg::Op::Max,
+    dfg::Op::Pass};
+
+}  // namespace
+
+TEST(TechLibraryPropertyTest, AreasStrictlyMonotoneInWidth) {
+  const TechLibrary t = TechLibrary::cmos08();
+  for (unsigned w = 1; w < 16; ++w) {
+    for (dfg::Op op : kAllOps) {
+      EXPECT_LT(t.alu_area({op}, w), t.alu_area({op}, w + 1))
+          << dfg::op_name(op) << " width " << w;
+    }
+    EXPECT_LT(t.storage_area(rtl::CompKind::Latch, w),
+              t.storage_area(rtl::CompKind::Latch, w + 1));
+    EXPECT_LT(t.storage_area(rtl::CompKind::Register, w),
+              t.storage_area(rtl::CompKind::Register, w + 1));
+    EXPECT_LT(t.mux_area(2, w), t.mux_area(2, w + 1));
+    EXPECT_LT(t.io_port_area(w), t.io_port_area(w + 1));
+    EXPECT_LT(t.controller_area(w, 6), t.controller_area(w + 1, 6));
+  }
+}
+
+TEST(TechLibraryPropertyTest, CapacitancesMonotoneInWidth) {
+  const TechLibrary t = TechLibrary::cmos08();
+  // Non-array blocks present a width-independent per-bit cap (constant is
+  // allowed); the array structures (mul/div/mod) must strictly grow.
+  for (unsigned w = 1; w < 16; ++w) {
+    for (dfg::Op op : kAllOps) {
+      EXPECT_LE(t.func_internal_cap(op, w), t.func_internal_cap(op, w + 1))
+          << dfg::op_name(op) << " width " << w;
+    }
+    for (dfg::Op op : {dfg::Op::Mul, dfg::Op::Div, dfg::Op::Mod}) {
+      EXPECT_LT(t.func_internal_cap(op, w), t.func_internal_cap(op, w + 1))
+          << dfg::op_name(op) << " width " << w;
+    }
+  }
+}
+
+TEST(TechLibraryPropertyTest, AluAreaMonotoneInFunctionSet) {
+  const TechLibrary t = TechLibrary::cmos08();
+  // Adding any function to any set makes the ALU strictly larger — the
+  // well-sharing (+-) discount must never turn a superset cheaper.
+  for (unsigned w : {1u, 4u, 8u, 16u}) {
+    for (dfg::Op base : kAllOps) {
+      for (dfg::Op extra : kAllOps) {
+        if (extra == base) continue;
+        EXPECT_LT(t.alu_area({base}, w), t.alu_area({base, extra}, w))
+            << dfg::op_name(base) << "+" << dfg::op_name(extra) << " width "
+            << w;
+      }
+    }
+    EXPECT_LT(t.alu_area({dfg::Op::Add, dfg::Op::Sub}, w),
+              t.alu_area({dfg::Op::Add, dfg::Op::Sub, dfg::Op::Mul}, w));
+  }
+}
+
+TEST(TechLibraryPropertyTest, AluInputCapMonotoneInFunctionSet) {
+  const TechLibrary t = TechLibrary::cmos08();
+  rtl::Netlist nl("t");
+  const auto src = nl.add_component(rtl::CompKind::InputPort, "i", 4);
+  const auto net = nl.comp(src).output;
+  const auto alu = nl.add_component(rtl::CompKind::Alu, "a", 4);
+  std::vector<dfg::Op> funcs;
+  double prev = 0.0;
+  for (dfg::Op op : {dfg::Op::Add, dfg::Op::Sub, dfg::Op::Mul, dfg::Op::Lt}) {
+    funcs.push_back(op);
+    nl.comp_mut(alu).funcs = funcs;
+    const double cap = t.input_pin_cap(nl, nl.comp(alu), net);
+    EXPECT_GT(cap, prev) << "function set size " << funcs.size();
+    prev = cap;
+  }
+}
+
+TEST(TechLibraryPropertyTest, NetCapMonotoneInFanIn) {
+  const TechLibrary t = TechLibrary::cmos08();
+  rtl::Netlist nl("t");
+  const auto src = nl.add_component(rtl::CompKind::InputPort, "i", 4);
+  const auto net = nl.comp(src).output;
+  double prev = t.net_cap(nl, nl.net(net));
+  EXPECT_GT(prev, 0.0);  // the driver alone already loads the net
+  for (int r = 0; r < 8; ++r) {
+    const auto mux =
+        nl.add_component(rtl::CompKind::Mux, "m" + std::to_string(r), 4);
+    nl.connect_input(mux, net);
+    const double cap = t.net_cap(nl, nl.net(net));
+    EXPECT_GT(cap, prev) << "reader " << r;
+    prev = cap;
+  }
+}
+
+TEST(TechLibraryPropertyTest, MuxAreaMonotoneInFanIn) {
+  const TechLibrary t = TechLibrary::cmos08();
+  for (std::size_t in = 1; in < 12; ++in) {
+    EXPECT_LT(t.mux_area(in, 4), t.mux_area(in + 1, 4));
+  }
+}
+
+TEST(TechLibraryPropertyTest, ZeroAndOneBitEdgeCases) {
+  const TechLibrary t = TechLibrary::cmos08();
+  // Zero width/fan-in is a degenerate-but-legal query: it must cost zero,
+  // not trap or go negative.
+  for (dfg::Op op : kAllOps) {
+    EXPECT_EQ(t.alu_area({op}, 0), 0.0) << dfg::op_name(op);
+  }
+  EXPECT_EQ(t.storage_area(rtl::CompKind::Latch, 0), 0.0);
+  EXPECT_EQ(t.mux_area(0, 4), 0.0);
+  EXPECT_EQ(t.mux_area(4, 0), 0.0);
+  EXPECT_EQ(t.io_port_area(0), 0.0);
+  EXPECT_EQ(t.controller_area(0, 10), 0.0);
+  EXPECT_EQ(t.clock_tree_cap(0), 0.0);
+  // One bit of anything is real hardware: strictly positive.
+  for (dfg::Op op : kAllOps) {
+    EXPECT_GT(t.alu_area({op}, 1), 0.0) << dfg::op_name(op);
+    EXPECT_GT(t.func_internal_cap(op, 1), 0.0) << dfg::op_name(op);
+  }
+  EXPECT_GT(t.storage_area(rtl::CompKind::Latch, 1), 0.0);
+  EXPECT_GT(t.storage_area(rtl::CompKind::Register, 1), 0.0);
+  EXPECT_GT(t.mux_area(1, 1), 0.0);
+  EXPECT_GT(t.io_port_area(1), 0.0);
+  EXPECT_GT(t.clock_tree_cap(1), t.clock_tree_cap(0));
+}
+
 }  // namespace
 }  // namespace mcrtl::power

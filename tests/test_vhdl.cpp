@@ -1,6 +1,9 @@
 // Unit tests for the VHDL and Verilog emitters.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "core/synthesizer.hpp"
 #include "suite/benchmarks.hpp"
 #include "vhdl/emitter.hpp"
@@ -131,6 +134,38 @@ TEST(VhdlTest, EmitsForEveryBenchmarkAndStyle) {
       EXPECT_GT(v.size(), 1000u) << name << " n=" << n;
     }
   }
+}
+
+// ---- golden files -----------------------------------------------------------
+// The structural tests above assert properties of the HDL; these pin the
+// exact bytes. Any intentional emitter change must regenerate the goldens
+// (build/tools/mcrtl emit[-verilog] motivating --width 4 --style multi
+// --clocks 2 > tests/golden/motivating_w4_multi2.{vhd,v}) and the diff then
+// shows reviewers precisely what changed in the output language.
+
+namespace {
+
+std::string read_golden(const char* name) {
+  const std::string path = std::string(MCRTL_TEST_DATA_DIR "/golden/") + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(GoldenFileTest, VhdlMatchesGolden) {
+  const auto b = suite::motivating(4);
+  const auto d = make(b, core::DesignStyle::MultiClock, 2);
+  EXPECT_EQ(emit_vhdl(d), read_golden("motivating_w4_multi2.vhd"));
+}
+
+TEST(GoldenFileTest, VerilogMatchesGolden) {
+  const auto b = suite::motivating(4);
+  const auto d = make(b, core::DesignStyle::MultiClock, 2);
+  EXPECT_EQ(emit_verilog(d), read_golden("motivating_w4_multi2.v"));
 }
 
 }  // namespace

@@ -25,8 +25,25 @@
 //   --computations N simulation length (default 2000)
 //   --seed N         stimulus seed (default 1996)
 //   --csv FILE       also write measured rows as CSV
+//   --json FILE      (explore) also write measured rows as JSON
 //   --jobs N         worker threads for table/explore (default: all cores;
 //                    results are identical for any N)
+//   --checkpoint FILE (explore) crash-safe journal: completed points are
+//                    fsync'd as they finish; re-running the same command
+//                    resumes, skipping journalled points (byte-identical
+//                    reports). A journal from a different configuration is
+//                    rejected.
+//   --point-timeout S (explore) per-point simulation deadline in seconds;
+//                    an expired point is retried/quarantined like a failure
+//   --retries N      (explore) extra attempts per failing point (default 0)
+//   --backoff MS     (explore) delay before the first retry, doubled per
+//                    further attempt (default 0)
+//   --no-quarantine  (explore) abort the sweep on the first exhausted
+//                    failure instead of recording it and continuing
+//   --fault-inject S arm a fault-injection site (testing): SPEC is
+//                    site:always | site:first:K | site:p:P[:seed] |
+//                    site:observe, each optionally :match=SUBSTR;
+//                    repeatable
 //   --vcd FILE       (synth) dump a VCD waveform of the measured run
 //   --trace-out FILE enable tracing; write Chrome trace-event JSON
 //                    (chrome://tracing / Perfetto) on exit
@@ -57,6 +74,7 @@
 #include "sim/vcd.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -80,7 +98,14 @@ struct CliOptions {
   std::size_t computations = 2000;
   std::uint64_t seed = 1996;
   std::string csv_file;
+  std::string json_file;
   int jobs = 0;  // <= 0: auto (hardware concurrency)
+  std::string checkpoint_file;
+  double point_timeout_s = 0.0;
+  int retries = 0;
+  double backoff_ms = 0.0;
+  bool no_quarantine = false;
+  std::vector<std::string> fault_specs;
   std::string vcd_file;
   std::string trace_file;
   std::string metrics_file;
@@ -100,7 +125,10 @@ int usage() {
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
                "             [--computations N] [--seed N] [--csv file] "
-               "[--jobs N]\n"
+               "[--json file] [--jobs N]\n"
+               "             [--checkpoint file] [--point-timeout s] "
+               "[--retries N] [--backoff ms]\n"
+               "             [--no-quarantine] [--fault-inject spec]\n"
                "             [--vcd file] [--trace-out file] "
                "[--metrics-out file] [--progress]\n");
   return 2;
@@ -150,6 +178,32 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       const char* v = next();
       if (!v) return false;
       o.csv_file = v;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      o.json_file = v;
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      o.checkpoint_file = v;
+    } else if (a == "--point-timeout") {
+      const char* v = next();
+      if (!v) return false;
+      o.point_timeout_s = std::atof(v);
+    } else if (a == "--retries") {
+      const char* v = next();
+      if (!v) return false;
+      o.retries = std::atoi(v);
+    } else if (a == "--backoff") {
+      const char* v = next();
+      if (!v) return false;
+      o.backoff_ms = std::atof(v);
+    } else if (a == "--no-quarantine") {
+      o.no_quarantine = true;
+    } else if (a == "--fault-inject") {
+      const char* v = next();
+      if (!v) return false;
+      o.fault_specs.emplace_back(v);
     } else if (a == "--jobs") {
       const char* v = next();
       if (!v) return false;
@@ -364,6 +418,13 @@ int cmd_explore(const CliOptions& o) {
   cfg.computations = o.computations;
   cfg.seed = o.seed;
   cfg.jobs = o.jobs;
+  cfg.checkpoint_file = o.checkpoint_file;
+  cfg.point_timeout_s = o.point_timeout_s;
+  cfg.max_retries = o.retries;
+  cfg.retry_backoff_ms = o.backoff_ms;
+  // The CLI sweep is fault-isolated by default: one bad configuration is
+  // reported in the "failed" table below rather than killing a long run.
+  cfg.quarantine = !o.no_quarantine;
 
   // Live progress: counts points as workers finish them (the hook runs
   // concurrently — everything it touches is atomic or a local stderr write).
@@ -402,8 +463,13 @@ int cmd_explore(const CliOptions& o) {
     }
   }
 
-  std::printf("%s: %zu design points (%u jobs)\n\n", l.name.c_str(),
+  std::printf("%s: %zu design points (%u jobs)", l.name.c_str(),
               r.points.size(), ThreadPool::resolve_jobs(o.jobs));
+  if (r.replayed_points > 0) {
+    std::printf(", %zu replayed from %s", r.replayed_points,
+                o.checkpoint_file.c_str());
+  }
+  std::printf("\n\n");
   TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
   std::vector<power::ExperimentRecord> recs;
   for (const auto& p : r.points) {
@@ -421,12 +487,30 @@ int cmd_explore(const CliOptions& o) {
     recs.push_back(std::move(rec));
   }
   std::fputs(t.render().c_str(), stdout);
-  std::printf("best power: %s (%.2f mW)\n", r.best_power().label.c_str(),
-              r.best_power().power.total);
+  if (!r.failed_points.empty()) {
+    std::printf("\n%zu configuration(s) failed and were quarantined:\n",
+                r.failed_points.size());
+    TextTable ft({"configuration", "attempts", "error"});
+    for (const auto& f : r.failed_points) {
+      ft.add_row({f.label, std::to_string(f.attempts), f.error});
+    }
+    std::fputs(ft.render().c_str(), stdout);
+  }
+  if (!r.points.empty()) {
+    std::printf("best power: %s (%.2f mW)\n", r.best_power().label.c_str(),
+                r.best_power().power.total);
+  }
   if (!o.csv_file.empty()) {
     std::ofstream(o.csv_file) << power::to_csv(recs);
     std::printf("wrote %s\n", o.csv_file.c_str());
   }
+  if (!o.json_file.empty()) {
+    std::ofstream(o.json_file) << power::to_json(recs);
+    std::printf("wrote %s\n", o.json_file.c_str());
+  }
+  // A quarantined point is a *reported* degradation, not a failure of the
+  // sweep itself: the exit code stays 0 so scripted sweeps keep their
+  // partial results.
   return 0;
 }
 
@@ -484,6 +568,16 @@ int main(int argc, char** argv) {
   CliOptions o;
   if (!parse_args(argc, argv, o)) return usage();
   if (o.obs_enabled()) obs::set_enabled(true);
+  if (!o.fault_specs.empty()) {
+    fault::set_enabled(true);
+    for (const auto& spec : o.fault_specs) {
+      if (!fault::arm_from_spec(spec)) {
+        std::fprintf(stderr, "error: bad --fault-inject spec '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+    }
+  }
   try {
     const int rc = dispatch(o);
     flush_obs(o);
