@@ -18,7 +18,10 @@ namespace mcrtl::core {
 
 namespace {
 
-constexpr const char* kMagic = "mcrtl-journal v1 fp=";
+// v2: the point record grew power_stddev/power_ci95 (25 payload tokens). A
+// v1 journal no longer matches the magic and is treated as absent — the
+// sweep starts fresh and overwrites it.
+constexpr const char* kMagic = "mcrtl-journal v2 fp=";
 
 std::uint64_t fnv1a64(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -101,7 +104,8 @@ std::string record_payload(std::size_t index, const ExplorationPoint& p) {
   const double pow[] = {p.power.combinational, p.power.storage,
                         p.power.clock_tree,    p.power.control,
                         p.power.io,            p.power.leakage,
-                        p.power.total};
+                        p.power.total,         p.power_stddev,
+                        p.power_ci95};
   for (double d : pow) os << ' ' << encode_double(d);
   const double area[] = {p.area.alus,       p.area.storage, p.area.muxes,
                          p.area.controller, p.area.io,      p.area.clocking,
@@ -135,8 +139,9 @@ bool parse_record(const std::string& line, std::size_t& index,
   if (std::bit_cast<std::uint64_t>(crc_probe) != fnv1a64(payload)) return false;
 
   const auto toks = split_tokens(payload);
-  // index, label, 7 power, 8 area, alu_summary, 5 stats ints = 23 tokens.
-  if (toks.size() != 23) return false;
+  // index, label, 9 power (7 breakdown + stddev + ci95), 8 area,
+  // alu_summary, 5 stats ints = 25 tokens.
+  if (toks.size() != 25) return false;
   char* end = nullptr;
   errno = 0;
   index = static_cast<std::size_t>(std::strtoull(toks[0].c_str(), &end, 10));
@@ -145,8 +150,9 @@ bool parse_record(const std::string& line, std::size_t& index,
   double* pow[] = {&point.power.combinational, &point.power.storage,
                    &point.power.clock_tree,    &point.power.control,
                    &point.power.io,            &point.power.leakage,
-                   &point.power.total};
-  for (std::size_t k = 0; k < 7; ++k) {
+                   &point.power.total,         &point.power_stddev,
+                   &point.power_ci95};
+  for (std::size_t k = 0; k < 9; ++k) {
     if (!decode_double(toks[2 + k], *pow[k])) return false;
   }
   double* area[] = {&point.area.alus,       &point.area.storage,
@@ -154,14 +160,14 @@ bool parse_record(const std::string& line, std::size_t& index,
                     &point.area.io,         &point.area.clocking,
                     &point.area.fixed,      &point.area.total};
   for (std::size_t k = 0; k < 8; ++k) {
-    if (!decode_double(toks[9 + k], *area[k])) return false;
+    if (!decode_double(toks[11 + k], *area[k])) return false;
   }
-  if (!decode_str(toks[17], point.stats.alu_summary)) return false;
+  if (!decode_str(toks[19], point.stats.alu_summary)) return false;
   int* ints[] = {&point.stats.num_alus, &point.stats.num_memory_cells,
                  &point.stats.num_mux_inputs, &point.stats.num_muxes,
                  &point.stats.num_clocks};
   for (std::size_t k = 0; k < 5; ++k) {
-    const std::string& t = toks[18 + k];
+    const std::string& t = toks[20 + k];
     errno = 0;
     const long v = std::strtol(t.c_str(), &end, 10);
     if (errno != 0 || end == t.c_str() || *end != '\0') return false;
@@ -210,7 +216,7 @@ std::uint64_t CheckpointJournal::fingerprint(const ExplorerConfig& cfg,
   os << "mcrtl-explorer-v1\n" << dfg::serialize_dfg(graph, &sched) << '\n'
      << cfg.max_clocks << ' ' << cfg.include_conventional << ' '
      << cfg.include_split << ' ' << cfg.include_dff_variant << ' '
-     << cfg.computations << ' ' << cfg.seed << ' '
+     << cfg.computations << ' ' << cfg.seed << ' ' << cfg.streams << ' '
      << encode_double(cfg.power_params.vdd) << ' '
      << encode_double(cfg.power_params.f_master) << ' '
      << encode_double(cfg.power_params.leakage_mw_per_mlambda2) << ' '

@@ -73,15 +73,29 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
                           const ExplorerConfig& cfg) {
   obs::Span span("explore");
   MCRTL_CHECK(cfg.max_clocks >= 1);
+  MCRTL_CHECK_MSG(cfg.streams >= 1 &&
+                      cfg.streams <= sim::Simulator::kMaxStreams,
+                  "ExplorerConfig::streams must be in 1.."
+                      << sim::Simulator::kMaxStreams);
   graph.validate();
   sched.validate();
 
-  // The stimulus stream is derived from the seed once, up front, and then
-  // shared read-only by every evaluation — this is what makes the result
-  // independent of how the points are scheduled across workers.
-  Rng rng(cfg.seed);
-  const auto stream = sim::uniform_stream(rng, graph.inputs().size(),
-                                          cfg.computations, graph.width());
+  // The stimulus is derived from the seed once, up front, and then shared
+  // read-only by every evaluation — this is what makes the result
+  // independent of how the points are scheduled across workers. streams == 1
+  // keeps the historical scalar stream derivation byte-for-byte; a
+  // Monte-Carlo bundle gets per-stream splitmix-derived seeds instead.
+  sim::InputStream stream;
+  std::vector<sim::InputStream> bundle;
+  if (cfg.streams == 1) {
+    Rng rng(cfg.seed);
+    stream = sim::uniform_stream(rng, graph.inputs().size(), cfg.computations,
+                                 graph.width());
+  } else {
+    bundle = sim::uniform_streams(cfg.seed, cfg.streams,
+                                  graph.inputs().size(), cfg.computations,
+                                  graph.width());
+  }
   const auto tech = power::TechLibrary::cmos08();
 
   // Enumerate every configuration first; evaluation writes into the slot
@@ -133,7 +147,9 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     obs::Span point_span("explore.point");
     const auto& [opts, label] = configs[i];
     const auto syn = synthesize(graph, sched, opts);
-    sim::Simulator simulator(*syn.design);
+    sim::Simulator simulator(*syn.design, cfg.streams == 1
+                                              ? sim::Simulator::Mode::EventDriven
+                                              : sim::Simulator::Mode::BitSliced);
     if (cfg.point_timeout_s > 0) {
       simulator.set_deadline(std::chrono::steady_clock::now() +
                              std::chrono::duration_cast<
@@ -141,16 +157,55 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
                                  std::chrono::duration<double>(
                                      cfg.point_timeout_s)));
     }
-    const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
-    const auto rep =
-        sim::check_outputs(graph, stream, res.outputs, syn.design->style_name);
-    MCRTL_CHECK_MSG(rep.equivalent,
-                    "explorer produced a non-equivalent design: " << rep.detail);
     ExplorationPoint p;
     p.options = opts;
     p.label = label;
-    p.power = power::estimate_power(*syn.design, res.activity, tech,
-                                    cfg.power_params);
+    if (cfg.streams == 1) {
+      const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
+      const auto rep = sim::check_outputs(graph, stream, res.outputs,
+                                          syn.design->style_name);
+      MCRTL_CHECK_MSG(rep.equivalent,
+                      "explorer produced a non-equivalent design: "
+                          << rep.detail);
+      p.power = power::estimate_power(*syn.design, res.activity, tech,
+                                      cfg.power_params);
+    } else {
+      // One bit-sliced pass advances all streams; every lane must still be
+      // functionally equivalent to the golden model on its own.
+      const auto results =
+          simulator.run_sliced(bundle, graph.inputs(), graph.outputs());
+      std::vector<double> totals(results.size());
+      std::vector<power::PowerBreakdown> brs(results.size());
+      for (std::size_t s = 0; s < results.size(); ++s) {
+        const auto rep = sim::check_outputs(graph, bundle[s],
+                                            results[s].outputs,
+                                            syn.design->style_name);
+        MCRTL_CHECK_MSG(rep.equivalent,
+                        "explorer produced a non-equivalent design (stream "
+                            << s << "): " << rep.detail);
+        brs[s] = power::estimate_power(*syn.design, results[s].activity, tech,
+                                       cfg.power_params);
+        totals[s] = brs[s].total;
+      }
+      // Every reported field is a per-stream sample mean; sample_stats
+      // accumulates in sorted order, so the point is invariant under stream
+      // permutation.
+      auto mean_of = [&](double power::PowerBreakdown::*field) {
+        std::vector<double> v(brs.size());
+        for (std::size_t s = 0; s < brs.size(); ++s) v[s] = brs[s].*field;
+        return sim::sample_stats(std::move(v)).mean;
+      };
+      p.power.combinational = mean_of(&power::PowerBreakdown::combinational);
+      p.power.storage = mean_of(&power::PowerBreakdown::storage);
+      p.power.clock_tree = mean_of(&power::PowerBreakdown::clock_tree);
+      p.power.control = mean_of(&power::PowerBreakdown::control);
+      p.power.io = mean_of(&power::PowerBreakdown::io);
+      p.power.leakage = mean_of(&power::PowerBreakdown::leakage);
+      const sim::SampleStats st = sim::sample_stats(std::move(totals));
+      p.power.total = st.mean;
+      p.power_stddev = st.stddev;
+      p.power_ci95 = st.ci95;
+    }
     p.area = power::estimate_area(*syn.design, tech);
     p.stats = syn.design->stats;
     result.points[i] = std::move(p);

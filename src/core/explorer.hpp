@@ -27,6 +27,12 @@ struct ExplorationPoint {
   power::PowerBreakdown power;
   power::AreaBreakdown area;
   rtl::DesignStats stats;
+  /// Monte-Carlo spread of the total-power estimate across the stimulus
+  /// streams (ExplorerConfig::streams): sample standard deviation and the
+  /// 95% confidence half-width of `power.total`. Zero when streams == 1 —
+  /// a single stream carries no spread information.
+  double power_stddev = 0.0;
+  double power_ci95 = 0.0;
   bool pareto = false;  ///< on the power/area frontier
 };
 
@@ -37,6 +43,15 @@ struct ExplorerConfig {
   bool include_dff_variant = false;  ///< also try multi-clock with DFFs
   std::size_t computations = 1500;
   std::uint64_t seed = 1;
+  /// Independent Monte-Carlo stimulus streams per point (1..64). 1 (the
+  /// default) keeps the historical single-stream scalar simulation and a
+  /// byte-identical result. N > 1 evaluates every point with the bit-sliced
+  /// kernel over N independently seeded streams in one pass: the reported
+  /// power becomes the per-stream sample mean and each point additionally
+  /// carries power_stddev / power_ci95. Each of the N streams is
+  /// `computations` long, so the per-point simulated work scales with N
+  /// (while the settle cost is shared across the 64 lanes).
+  std::size_t streams = 1;
   power::PowerParams power_params;
   /// Worker threads for point evaluation. 1 = serial (no pool is created,
   /// existing callers are unaffected); <= 0 = auto (hardware concurrency).

@@ -42,21 +42,23 @@ std::string json_escape(const std::string& s) {
 
 std::string to_csv(const std::vector<ExperimentRecord>& records) {
   std::ostringstream os;
-  os << "experiment,design,benchmark,width,computations,"
+  os << "experiment,design,benchmark,width,computations,streams,"
         "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
-        "power_control_mw,power_io_mw,"
+        "power_control_mw,power_io_mw,power_stddev_mw,power_ci95_mw,"
         "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
         "area_controller_l2,"
         "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary\n";
   for (const auto& r : records) {
     os << csv_escape(r.experiment) << ',' << csv_escape(r.design) << ','
        << csv_escape(r.benchmark) << ',' << r.width << ',' << r.computations
-       << ',' << str_format("%.6f", r.power.total) << ','
+       << ',' << r.streams << ',' << str_format("%.6f", r.power.total) << ','
        << str_format("%.6f", r.power.combinational) << ','
        << str_format("%.6f", r.power.storage) << ','
        << str_format("%.6f", r.power.clock_tree) << ','
        << str_format("%.6f", r.power.control) << ','
        << str_format("%.6f", r.power.io) << ','
+       << str_format("%.6f", r.power_stddev) << ','
+       << str_format("%.6f", r.power_ci95) << ','
        << str_format("%.0f", r.area.total) << ','
        << str_format("%.0f", r.area.alus) << ','
        << str_format("%.0f", r.area.storage) << ','
@@ -77,12 +79,15 @@ std::string to_json(const std::vector<ExperimentRecord>& records) {
     os << "  {\"experiment\": \"" << json_escape(r.experiment)
        << "\", \"design\": \"" << json_escape(r.design) << "\", \"benchmark\": \""
        << json_escape(r.benchmark) << "\", \"width\": " << r.width
-       << ", \"computations\": " << r.computations << ",\n   \"power_mw\": {"
+       << ", \"computations\": " << r.computations
+       << ", \"streams\": " << r.streams << ",\n   \"power_mw\": {"
        << str_format(
               "\"total\": %.6f, \"comb\": %.6f, \"storage\": %.6f, "
-              "\"clock\": %.6f, \"control\": %.6f, \"io\": %.6f",
+              "\"clock\": %.6f, \"control\": %.6f, \"io\": %.6f, "
+              "\"stddev\": %.6f, \"ci95\": %.6f",
               r.power.total, r.power.combinational, r.power.storage,
-              r.power.clock_tree, r.power.control, r.power.io)
+              r.power.clock_tree, r.power.control, r.power.io, r.power_stddev,
+              r.power_ci95)
        << "},\n   \"area_l2\": {"
        << str_format(
               "\"total\": %.0f, \"alus\": %.0f, \"storage\": %.0f, "

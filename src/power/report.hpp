@@ -20,7 +20,14 @@ struct ExperimentRecord {
   std::string benchmark;
   unsigned width = 0;
   std::uint64_t computations = 0;
+  /// Monte-Carlo stimulus streams behind the power numbers (1 = the
+  /// historical single-stream run; stddev/ci95 are 0 then).
+  std::uint64_t streams = 1;
   PowerBreakdown power;
+  /// Spread of power.total across the streams: sample standard deviation
+  /// and the 95% confidence half-width.
+  double power_stddev = 0.0;
+  double power_ci95 = 0.0;
   AreaBreakdown area;
   rtl::DesignStats stats;
 };

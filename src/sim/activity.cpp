@@ -1,9 +1,58 @@
 #include "sim/activity.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace mcrtl::sim {
+
+SampleStats sample_stats(std::vector<double> values) {
+  SampleStats st;
+  st.n = values.size();
+  if (st.n == 0) return st;
+  // Sorted accumulation: summation order is a function of the value set,
+  // not of the lane order, so permuting streams cannot move a single ULP.
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  st.mean = sum / static_cast<double>(st.n);
+  if (st.n < 2) return st;
+  double ss = 0.0;
+  for (double v : values) ss += (v - st.mean) * (v - st.mean);
+  st.stddev = std::sqrt(ss / static_cast<double>(st.n - 1));
+  st.ci95 = 1.96 * st.stddev / std::sqrt(static_cast<double>(st.n));
+  return st;
+}
+
+Activity sum_activities(const std::vector<Activity>& parts) {
+  MCRTL_CHECK(!parts.empty());
+  Activity total = parts[0];
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    const Activity& a = parts[p];
+    MCRTL_CHECK(a.net_toggles.size() == total.net_toggles.size());
+    MCRTL_CHECK(a.storage_clock_events.size() ==
+                total.storage_clock_events.size());
+    MCRTL_CHECK(a.storage_write_toggles.size() ==
+                total.storage_write_toggles.size());
+    MCRTL_CHECK(a.phase_pulses.size() == total.phase_pulses.size());
+    for (std::size_t i = 0; i < a.net_toggles.size(); ++i) {
+      total.net_toggles[i] += a.net_toggles[i];
+    }
+    for (std::size_t i = 0; i < a.storage_clock_events.size(); ++i) {
+      total.storage_clock_events[i] += a.storage_clock_events[i];
+      total.storage_write_toggles[i] += a.storage_write_toggles[i];
+    }
+    for (std::size_t i = 0; i < a.phase_pulses.size(); ++i) {
+      total.phase_pulses[i] += a.phase_pulses[i];
+    }
+    total.steps += a.steps;
+    total.computations += a.computations;
+  }
+  return total;
+}
 
 std::uint64_t PhaseHeatmap::phase_total(int phase) const {
   std::uint64_t total = 0;

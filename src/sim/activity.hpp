@@ -74,4 +74,25 @@ struct PhaseHeatmap {
 /// steps, cells = "toggles/clock-edges").
 std::string render_heatmap(const PhaseHeatmap& hm);
 
+/// Summary statistics of one scalar observable (e.g. per-stream total
+/// power) over a Monte-Carlo stream bundle.
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double ci95 = 0.0;    ///< 1.96 * stddev / sqrt(n) half-width
+};
+
+/// Mean / sample stddev / 95% CI half-width of `values`. The values are
+/// accumulated in ascending sorted order, so the result is bit-identical
+/// under any permutation of the input — the lane-permutation-invariance
+/// guarantee the sliced-simulation aggregates advertise. n < 2 gives
+/// stddev = ci95 = 0.
+SampleStats sample_stats(std::vector<double> values);
+
+/// Element-wise sum of per-stream Activity records (all vectors must have
+/// equal shapes; steps/computations add too). Integer addition commutes, so
+/// the aggregate is bit-identical under stream permutation.
+Activity sum_activities(const std::vector<Activity>& parts);
+
 }  // namespace mcrtl::sim

@@ -28,7 +28,7 @@ Simulator::Simulator(const rtl::Design& design, Mode mode)
       storage_by_phase_[static_cast<std::size_t>(c.clock_phase)].push_back(c.id);
     }
   }
-  if (mode_ == Mode::EventDriven) {
+  if (mode_ != Mode::Oblivious) {  // EventDriven and BitSliced both levelize
     level_ = nl.comb_levels();
     int max_level = -1;
     for (int l : level_) max_level = std::max(max_level, l);
@@ -53,7 +53,7 @@ Simulator::Simulator(const rtl::Design& design, Mode mode)
   for (int t = 1; t <= P; ++t) {
     phase_by_step_[static_cast<std::size_t>(t)] = design.clocks.phase_of_step(t);
   }
-  if (mode_ != Mode::EventDriven) return;  // Oblivious re-derives per step.
+  if (mode_ == Mode::Oblivious) return;  // Oblivious re-derives per step.
   // Tabulate controller delivery once: line values repeat every period, so
   // the per-step controller loop reduces to replaying the per-step deltas.
   control_step_writes_.resize(static_cast<std::size_t>(P) + 1);
@@ -99,6 +99,21 @@ Simulator::Simulator(const rtl::Design& design, Mode mode)
         if (load) edge_captures_[static_cast<std::size_t>(t)].push_back(cid);
       }
     }
+  }
+  if (mode_ == Mode::BitSliced) {
+    // The sliced kernel walks the static phase-edge schedule (per-lane
+    // dynamic load enables would make clock-event counts data-dependent);
+    // every design synthesize() produces qualifies. Hand-built netlists
+    // that drive a load pin from the datapath keep the scalar kernels.
+    MCRTL_CHECK_MSG(static_edges_,
+                    "BitSliced simulation requires controller-driven storage "
+                    "load enables; use Mode::EventDriven for this netlist");
+    plane_offset_.reserve(nl.num_nets() + 1);
+    plane_offset_.push_back(0);
+    for (const auto& net : nl.nets()) {
+      plane_offset_.push_back(plane_offset_.back() + net.width);
+    }
+    net_planes_.assign(plane_offset_.back(), 0);
   }
 }
 
@@ -205,6 +220,9 @@ SimResult Simulator::run(const InputStream& stream,
                          const std::vector<dfg::ValueId>& output_order) {
   obs::Span span("sim.run");
   fault::inject("sim.run");
+  MCRTL_CHECK_MSG(mode_ != Mode::BitSliced,
+                  "run() is scalar-only; a BitSliced simulator batches "
+                  "streams through run_sliced()");
   const rtl::Design& d = *design_;
   const rtl::Netlist& nl = d.netlist;
   const auto& comps = nl.components();

@@ -16,7 +16,7 @@
 // All transitions — datapath, control lines, storage outputs, clock pins —
 // are accumulated into an Activity record for the power model.
 //
-// Two settle kernels implement step 3/5 with bit-identical results:
+// Three settle kernels implement step 3/5 with bit-identical results:
 //
 //  * EventDriven (default) — a levelized event-driven worklist. The
 //    constructor precomputes a net -> combinational-fanout index and a
@@ -35,12 +35,24 @@
 //    differential-testing baseline for the event-driven kernel and its
 //    precomputed control/edge schedules (and as the cost model of the
 //    `sim.kernel.evals_skipped` counter).
+//  * BitSliced (run_sliced()) — the Monte-Carlo batch kernel: up to 64
+//    independent stimulus streams are packed one-per-bit-lane into
+//    bit-slice planes (util/bits.hpp layout: one uint64_t plane per net
+//    bit), components are evaluated with SWAR logic plus ripple-carry
+//    arithmetic on the planes, and per-stream toggle counts accumulate in
+//    carry-save vertical counters — so one settle pass over the levelized
+//    worklist advances all streams at once. It reuses the event-driven
+//    kernel's levelized fanout index, tabulated controller deltas and
+//    static phase-edge schedules; designs whose storage load enables are
+//    not controller-driven (never produced by synthesize()) are rejected
+//    at construction. Per stream, its results are bit-identical to an
+//    independent EventDriven run of that stream's stimulus.
 //
 // Because every combinational component is a pure function of its input
 // nets and write_net() only counts transitions on real value changes, the
-// two kernels produce identical Activity, outputs and PhaseHeatmap records
+// kernels produce identical Activity, outputs and PhaseHeatmap records
 // — asserted across benchmarks, styles and fuzz graphs by
-// tests/test_sim_kernel.cpp.
+// tests/test_sim_kernel.cpp and (per stream) tests/test_sim_sliced.cpp.
 #pragma once
 
 #include <chrono>
@@ -68,19 +80,36 @@ struct SimResult {
 
 class Simulator {
  public:
-  /// Settle-kernel selection. EventDriven is the production kernel;
-  /// Oblivious is the retained reference path for differential testing.
-  enum class Mode { EventDriven, Oblivious };
+  /// Settle-kernel selection. EventDriven is the production single-stream
+  /// kernel; Oblivious is the retained reference path for differential
+  /// testing; BitSliced batches up to 64 streams per run_sliced() call.
+  enum class Mode { EventDriven, Oblivious, BitSliced };
+
+  /// Maximum number of stimulus streams one run_sliced() call can batch —
+  /// one lane per bit of the plane words.
+  static constexpr std::size_t kMaxStreams = 64;
 
   explicit Simulator(const rtl::Design& design, Mode mode = Mode::EventDriven);
 
   Mode mode() const { return mode_; }
 
   /// Simulate `stream.size()` computations. `output_order` lists the output
-  /// values in the order samples should be emitted.
+  /// values in the order samples should be emitted. Not available in
+  /// BitSliced mode (use run_sliced).
   SimResult run(const InputStream& stream,
                 const std::vector<dfg::ValueId>& input_order,
                 const std::vector<dfg::ValueId>& output_order);
+
+  /// BitSliced mode only: simulate `streams.size()` (1..64) independent
+  /// stimulus streams of equal length in one bit-sliced pass. Element s of
+  /// the result is bit-identical to what an EventDriven run of streams[s]
+  /// on a fresh Simulator would return — outputs and the full Activity
+  /// record. Per-stream PhaseHeatmaps are collected into the vector
+  /// attached with set_stream_heatmaps() (resized to streams.size()).
+  std::vector<SimResult> run_sliced(
+      const std::vector<InputStream>& streams,
+      const std::vector<dfg::ValueId>& input_order,
+      const std::vector<dfg::ValueId>& output_order);
 
   /// Settle-kernel work accounting, accumulated over every run() of this
   /// Simulator. `evals` is the number of combinational evaluations the
@@ -107,6 +136,13 @@ class Simulator {
   /// detach; no collection cost when detached.
   void set_heatmap(PhaseHeatmap* hm) { heatmap_ = hm; }
 
+  /// Per-stream heatmap telemetry for run_sliced(): the vector is resized
+  /// to the stream count and element s receives the heatmap an EventDriven
+  /// run of stream s would have produced. Pass nullptr to detach.
+  void set_stream_heatmaps(std::vector<PhaseHeatmap>* hms) {
+    stream_heatmaps_ = hms;
+  }
+
   /// Cooperative deadline: run() checks the clock once per computation
   /// (i.e. once per master period) and throws mcrtl::TimeoutError when the
   /// deadline has passed — the hook behind the explorer's --point-timeout,
@@ -118,6 +154,8 @@ class Simulator {
   }
 
  private:
+  friend class SlicedKernel;  // sim/sliced.cpp: the BitSliced engine
+
   void settle(Activity& act, bool count);
   void settle_oblivious(Activity& act, bool count);
   void settle_event(Activity& act, bool count);
@@ -189,8 +227,16 @@ class Simulator {
   KernelStats kernel_stats_;
   StepObserver observer_;
   PhaseHeatmap* heatmap_ = nullptr;
+  std::vector<PhaseHeatmap>* stream_heatmaps_ = nullptr;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
+
+  // BitSliced kernel state (empty in the scalar modes). Plane values of
+  // net i live in net_planes_[plane_offset_[i] .. plane_offset_[i+1]);
+  // they persist across run_sliced() calls exactly as net_value_ persists
+  // across run() calls.
+  std::vector<std::uint32_t> plane_offset_;
+  std::vector<std::uint64_t> net_planes_;
 };
 
 }  // namespace mcrtl::sim

@@ -1,0 +1,714 @@
+// Mode::BitSliced — the batched Monte-Carlo settle kernel.
+//
+// One run_sliced() call advances up to 64 independent stimulus streams in a
+// single pass over the design. Every net's value is held as `width`
+// bit-slice planes (util/bits.hpp layout: bit s of plane b is bit b of
+// stream s's word), so a plane-wise SWAR operation computes all streams at
+// once: logic ops are one op per plane, add/sub/compare ripple a carry lane
+// mask across the planes, muxes blend planes under per-lane select masks.
+// Multiplication, division and data-dependent shifts drop to a
+// transpose64 -> scalar eval_op per lane -> transpose64 fallback — exact,
+// and rare enough in the paper's datapaths not to matter.
+//
+// Per-stream toggle exactness is the contract: stream s of the result must
+// be bit-identical to an independent EventDriven run of that stream. Toggle
+// counts therefore cannot be folded into one popcount per plane — instead
+// each changed write compresses its XOR-diff planes into a bit-sliced
+// per-lane sum (slice_popcount_planes, a carry-save adder network) and adds
+// that into a per-net "vertical" counter whose planes are again bit-sliced
+// across streams (slice_counter_add). At the end of the run one
+// transpose64 per counter unpacks exact per-stream toggle totals.
+//
+// The kernel reuses the event-driven machinery the Simulator constructor
+// precomputes: the levelized fanout worklist, the tabulated controller
+// deltas and the static phase-edge schedules. Control lines, clock events
+// and phase pulses are controller-driven and therefore identical across
+// streams — they are counted once, scalar, and replicated per stream.
+#include <algorithm>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace mcrtl::sim {
+
+using rtl::CompId;
+using rtl::CompKind;
+using rtl::NetId;
+
+namespace {
+// Vertical-counter depth: per-net per-stream toggle totals up to 2^48.
+// A run would need ~2^42 master cycles to overflow a 64-bit-wide net.
+constexpr unsigned kCounterPlanes = 48;
+}  // namespace
+
+/// The per-run engine. Constructed by Simulator::run_sliced(); reads the
+/// Simulator's precomputed schedules and keeps the persistent plane state
+/// in the Simulator (net_planes_), so repeated calls behave like repeated
+/// scalar run() calls.
+class SlicedKernel {
+ public:
+  SlicedKernel(Simulator& sim, const std::vector<InputStream>& streams)
+      : sim_(sim),
+        design_(*sim.design_),
+        nl_(design_.netlist),
+        comps_(nl_.components()),
+        streams_(streams),
+        n_(streams.size()),
+        lane_mask_(n_ == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << n_) - 1),
+        net_counters_(nl_.num_nets() * kCounterPlanes, 0),
+        storage_counters_(nl_.num_components() * kCounterPlanes, 0),
+        clock_events_(nl_.num_components(), 0),
+        uniform_(nl_.num_nets(), 0),
+        uniform_scalar_(nl_.num_nets(), 0) {
+    for (const auto& net : nl_.nets()) {
+      const CompKind k = nl_.comp(net.driver).kind;
+      // Controller lines and constants carry the same word in every lane,
+      // so selects fed by them read one lane instead of building masks.
+      if (k == CompKind::ControlSource || k == CompKind::Constant) {
+        uniform_[net.id.index()] = 1;
+        // Seed the scalar cache from the persistent plane state (planes
+        // survive across run_sliced() calls on one Simulator).
+        uniform_scalar_[net.id.index()] =
+            slice_extract_lane(planes(net.id), width(net.id), 0);
+      }
+    }
+  }
+
+  std::vector<SimResult> run(const std::vector<dfg::ValueId>& input_order,
+                             const std::vector<dfg::ValueId>& output_order);
+
+ private:
+  std::uint64_t* planes(NetId net) {
+    return sim_.net_planes_.data() + sim_.plane_offset_[net.index()];
+  }
+  unsigned width(NetId net) const {
+    return sim_.plane_offset_[net.index() + 1] -
+           sim_.plane_offset_[net.index()];
+  }
+  /// Scalar word shared by every lane of a uniform net. Maintained by
+  /// write_broadcast — the only writer of ControlSource/Constant nets — so
+  /// select decodes read one word instead of re-extracting a lane.
+  std::uint64_t uniform_value(NetId net) const {
+    return uniform_scalar_[net.index()];
+  }
+
+  // Same small loops as Simulator::mark_fanout_dirty / mark_all_dirty —
+  // those are TU-local inlines of simulator.cpp, re-stated here against the
+  // shared worklist state.
+  void mark_fanout_dirty(NetId net) {
+    const std::uint32_t begin = sim_.fanout_offset_[net.index()];
+    const std::uint32_t end = sim_.fanout_offset_[net.index() + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const CompId cid = sim_.fanout_[k];
+      if (sim_.in_queue_[cid.index()]) continue;
+      sim_.in_queue_[cid.index()] = 1;
+      sim_.buckets_[static_cast<std::size_t>(sim_.level_[cid.index()])]
+          .push_back(cid);
+      ++sim_.pending_;
+    }
+  }
+  void mark_all_dirty() {
+    for (CompId cid : sim_.comb_order_) {
+      if (sim_.in_queue_[cid.index()]) continue;
+      sim_.in_queue_[cid.index()] = 1;
+      sim_.buckets_[static_cast<std::size_t>(sim_.level_[cid.index()])]
+          .push_back(cid);
+      ++sim_.pending_;
+    }
+  }
+
+  void bump(std::uint64_t* counter, const std::uint64_t* sums, unsigned k) {
+    MCRTL_CHECK_MSG(slice_counter_add(counter, kCounterPlanes, sums, k),
+                    "bit-sliced toggle counter overflow");
+  }
+
+  /// Write `val` planes (masked to the active lanes) into `net`: count
+  /// per-lane toggles when `count`, commit, dirty the fanout. The generic
+  /// path of every combinational/control/input write.
+  void write_net(NetId net, const std::uint64_t* val, bool count) {
+    std::uint64_t* old = planes(net);
+    const unsigned w = width(net);
+    std::uint64_t diff[64];
+    std::uint64_t any = 0;
+    // Commit as we diff: XORing a zero diff is a no-op, so the unchanged
+    // case needs no second pass either way.
+    for (unsigned b = 0; b < w; ++b) {
+      const std::uint64_t d = (val[b] & lane_mask_) ^ old[b];
+      diff[b] = d;
+      any |= d;
+      old[b] ^= d;
+    }
+    if (any == 0) return;
+    if (count) {
+      std::uint64_t sums[7];
+      const unsigned k = slice_popcount_planes(diff, w, sums);
+      bump(net_counters_.data() + net.index() * kCounterPlanes, sums, k);
+    }
+    mark_fanout_dirty(net);
+  }
+
+  void write_broadcast(NetId net, std::uint64_t value, bool count) {
+    std::uint64_t buf[64];
+    slice_broadcast(value, width(net), buf);
+    if (uniform_[net.index()]) {
+      uniform_scalar_[net.index()] = truncate(value, width(net));
+    }
+    write_net(net, buf, count);
+  }
+
+  void eval_op_sliced(dfg::Op op, const std::uint64_t* a,
+                      const std::uint64_t* b, unsigned w, std::uint64_t* out);
+  /// Evaluate `c` and return a pointer to the result planes — either `out`,
+  /// or (for pure selections: uniform mux/bus, Pass) the selected input's
+  /// planes directly, skipping the copy that write_net would diff anyway.
+  const std::uint64_t* eval_comp(const rtl::Component& c, std::uint64_t* out);
+  void settle(bool count);
+  void apply_inputs(std::size_t comp_index, bool count);
+
+  Simulator& sim_;
+  const rtl::Design& design_;
+  const rtl::Netlist& nl_;
+  const std::vector<rtl::Component>& comps_;
+  const std::vector<InputStream>& streams_;
+  const std::size_t n_;
+  const std::uint64_t lane_mask_;
+
+  std::vector<std::uint64_t> net_counters_;      // num_nets x kCounterPlanes
+  std::vector<std::uint64_t> storage_counters_;  // num_comps x kCounterPlanes
+  std::vector<std::uint64_t> clock_events_;      // scalar: same in every lane
+  std::vector<std::uint64_t> heat_counters_;     // (phase x step) vertical
+  std::vector<std::uint64_t> heat_clock_;        // scalar clock edges / cell
+  std::vector<std::uint8_t> uniform_;            // by NetId
+  std::vector<std::uint64_t> uniform_scalar_;    // by NetId, uniform nets only
+  std::vector<std::uint64_t> capture_buf_;       // D planes, read-before-write
+  std::vector<std::pair<NetId, unsigned>> sliced_in_ports_;  // (net, width)
+  /// A run of consecutive input ports whose widths sum to <= 64, packed by
+  /// one shared transpose64 (or per-port slice_pack when that's cheaper).
+  struct InChunk {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    bool transpose = false;
+  };
+  std::vector<InChunk> in_chunks_;
+  std::vector<unsigned> in_bit_offset_;  // port's bit offset within its chunk
+  std::uint64_t plane_evals_ = 0;
+};
+
+void SlicedKernel::eval_op_sliced(dfg::Op op, const std::uint64_t* a,
+                                  const std::uint64_t* b, unsigned w,
+                                  std::uint64_t* out) {
+  using dfg::Op;
+  switch (op) {
+    case Op::Add: slice_add(a, b, w, out); return;
+    case Op::Sub: slice_sub(a, b, w, out); return;
+    case Op::And: for (unsigned i = 0; i < w; ++i) out[i] = a[i] & b[i]; return;
+    case Op::Or:  for (unsigned i = 0; i < w; ++i) out[i] = a[i] | b[i]; return;
+    case Op::Xor: for (unsigned i = 0; i < w; ++i) out[i] = a[i] ^ b[i]; return;
+    case Op::Not: for (unsigned i = 0; i < w; ++i) out[i] = ~a[i]; return;
+    case Op::Neg: {  // 0 - a  ==  ~a + 1 (ripple the +1 as a carry mask)
+      std::uint64_t carry = ~std::uint64_t{0};
+      for (unsigned i = 0; i < w; ++i) {
+        const std::uint64_t x = ~a[i];
+        out[i] = x ^ carry;
+        carry &= x;
+      }
+      return;
+    }
+    case Op::Pass: std::copy(a, a + w, out); return;
+    case Op::Eq: std::fill(out, out + w, 0); out[0] = slice_eq(a, b, w); return;
+    case Op::Ne: std::fill(out, out + w, 0); out[0] = ~slice_eq(a, b, w); return;
+    case Op::Lt:
+      std::fill(out, out + w, 0);
+      out[0] = slice_lt_signed(a, b, w);
+      return;
+    case Op::Gt:
+      std::fill(out, out + w, 0);
+      out[0] = slice_lt_signed(b, a, w);
+      return;
+    case Op::Le:
+      std::fill(out, out + w, 0);
+      out[0] = ~slice_lt_signed(b, a, w);
+      return;
+    case Op::Ge:
+      std::fill(out, out + w, 0);
+      out[0] = ~slice_lt_signed(a, b, w);
+      return;
+    case Op::Min: slice_mux(slice_lt_signed(a, b, w), a, b, w, out); return;
+    case Op::Max: slice_mux(slice_lt_signed(b, a, w), a, b, w, out); return;
+    case Op::Mul: {
+      // Shift-add: bit-plane k of b is the per-lane mask of lanes whose
+      // multiplier has bit k set, so the product mod 2^w is the masked sum
+      // of the shifted multiplicands. O(w^2) plane ops — far cheaper than
+      // the transpose fallback for the narrow widths RTL datapaths use,
+      // and exact because truncate(a * b) ignores signs.
+      std::uint64_t acc[64] = {0};
+      for (unsigned k = 0; k < w; ++k) {
+        const std::uint64_t mask = b[k];
+        if (mask == 0) continue;
+        std::uint64_t carry = 0;
+        for (unsigned i = k; i < w; ++i) {
+          const std::uint64_t x = acc[i], y = a[i - k] & mask;
+          acc[i] = x ^ y ^ carry;
+          carry = (x & y) | (carry & (x ^ y));
+        }
+      }
+      std::copy(acc, acc + w, out);
+      return;
+    }
+    case Op::Div:
+    case Op::Mod:
+    case Op::Shl:
+    case Op::Shr: {
+      // Transpose fallback: unpack both operands to lane words, evaluate
+      // the scalar op per stream, pack the results back into planes.
+      std::uint64_t la[64] = {0}, lb[64] = {0};
+      std::copy(a, a + w, la);
+      std::copy(b, b + w, lb);
+      transpose64(la);
+      transpose64(lb);
+      for (std::size_t s = 0; s < n_; ++s) {
+        la[s] = dfg::eval_op(op, la[s], lb[s], w);
+      }
+      std::fill(la + n_, la + 64, 0);
+      transpose64(la);
+      std::copy(la, la + w, out);
+      return;
+    }
+  }
+  MCRTL_CHECK(false);
+}
+
+const std::uint64_t* SlicedKernel::eval_comp(const rtl::Component& c,
+                                             std::uint64_t* out) {
+  const unsigned w = c.width;
+  if (c.kind == CompKind::Mux || c.kind == CompKind::Bus) {
+    if (uniform_[c.select.index()]) {
+      const std::uint64_t code = uniform_value(c.select);
+      MCRTL_CHECK_MSG(code < c.inputs.size(), "mux/bus '" << c.name
+                          << "' select " << code << " out of range");
+      return planes(c.inputs[code]);
+    }
+    const std::uint64_t* sel = planes(c.select);
+    const unsigned ws = width(c.select);
+    // Data-driven select: blend every input under its per-lane match mask.
+    std::fill(out, out + w, 0);
+    std::uint64_t cover = 0;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      const std::uint64_t m = slice_eq_const(sel, ws, i) & lane_mask_;
+      if (m == 0) continue;
+      cover |= m;
+      const std::uint64_t* in = planes(c.inputs[i]);
+      for (unsigned b = 0; b < w; ++b) out[b] |= m & in[b];
+    }
+    MCRTL_CHECK_MSG(cover == lane_mask_,
+                    "mux/bus '" << c.name << "' select out of range");
+    return out;
+  }
+  if (c.kind == CompKind::IsoGate) {
+    const std::uint64_t* sel = planes(c.select);
+    const unsigned ws = width(c.select);
+    std::uint64_t en = 0;
+    for (unsigned b = 0; b < ws; ++b) en |= sel[b];
+    slice_mux(en, planes(c.inputs[0]), planes(c.output), w, out);
+    return out;
+  }
+  // Alu
+  const std::uint64_t* a = planes(c.inputs[0]);
+  const std::uint64_t* b = planes(c.inputs[1]);
+  if (!c.select.valid()) {
+    if (c.funcs[0] == dfg::Op::Pass) return a;
+    eval_op_sliced(c.funcs[0], a, b, w, out);
+    return out;
+  }
+  if (uniform_[c.select.index()]) {
+    const std::uint64_t code = uniform_value(c.select);
+    MCRTL_CHECK_MSG(code < c.funcs.size(), "alu '" << c.name << "' func code "
+                        << code << " out of range");
+    if (c.funcs[code] == dfg::Op::Pass) return a;
+    eval_op_sliced(c.funcs[code], a, b, w, out);
+    return out;
+  }
+  const std::uint64_t* sel = planes(c.select);
+  const unsigned ws = width(c.select);
+  // Data-driven function select: evaluate each selected function and blend.
+  std::fill(out, out + w, 0);
+  std::uint64_t cover = 0;
+  std::uint64_t tmp[64];
+  for (std::size_t code = 0; code < c.funcs.size(); ++code) {
+    const std::uint64_t m = slice_eq_const(sel, ws, code) & lane_mask_;
+    if (m == 0) continue;
+    cover |= m;
+    eval_op_sliced(c.funcs[code], a, b, w, tmp);
+    for (unsigned b2 = 0; b2 < w; ++b2) out[b2] |= m & tmp[b2];
+  }
+  MCRTL_CHECK_MSG(cover == lane_mask_,
+                  "alu '" << c.name << "' func code out of range");
+  return out;
+}
+
+void SlicedKernel::settle(bool count) {
+  ++sim_.kernel_stats_.settles;
+  sim_.kernel_stats_.oblivious_evals += sim_.comb_order_.size();
+  if (sim_.pending_ == 0) return;
+  std::uint64_t out[64];
+  for (auto& bucket : sim_.buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const CompId cid = bucket[i];
+      sim_.in_queue_[cid.index()] = 0;
+      ++sim_.kernel_stats_.evals;
+      const rtl::Component& c = comps_[cid.index()];
+      plane_evals_ += c.width;
+      write_net(c.output, eval_comp(c, out), count);
+    }
+    sim_.pending_ -= bucket.size();
+    bucket.clear();
+    if (sim_.pending_ == 0) break;
+  }
+}
+
+void SlicedKernel::apply_inputs(std::size_t comp_index, bool count) {
+  // Hoist the vector-of-vectors row lookups: one pointer per stream, then
+  // plain array indexing in the per-port gather.
+  const std::uint64_t* rows[64];
+  for (std::size_t s = 0; s < n_; ++s) {
+    const auto& row = streams_[s][comp_index];
+    MCRTL_CHECK(row.size() == sliced_in_ports_.size());
+    rows[s] = row.data();
+  }
+  // Ports are packed a chunk at a time: every port in a chunk is
+  // concatenated into one word per stream at its precomputed bit offset,
+  // and a single transpose64 slices the whole chunk — one 384-op transpose
+  // amortized over all the chunk's ports, against 64 x width ops per port
+  // for a slice_pack of each. Narrow chunks (see run()) keep the pack path.
+  std::uint64_t lanes[64];
+  for (const auto& ch : in_chunks_) {
+    if (!ch.transpose) {
+      for (std::size_t i = ch.first; i < ch.first + ch.count; ++i) {
+        const auto& [net, w] = sliced_in_ports_[i];
+        for (std::size_t s = 0; s < n_; ++s) {
+          lanes[s] = truncate(rows[s][i], w);
+        }
+        std::uint64_t pl[64];
+        slice_pack(lanes, n_, w, pl);
+        write_net(net, pl, count);
+      }
+      continue;
+    }
+    for (std::size_t s = 0; s < n_; ++s) {
+      std::uint64_t word = 0;
+      for (std::size_t i = ch.first; i < ch.first + ch.count; ++i) {
+        word |= truncate(rows[s][i], sliced_in_ports_[i].second)
+                << in_bit_offset_[i];
+      }
+      lanes[s] = word;
+    }
+    std::fill(lanes + n_, lanes + 64, 0);
+    transpose64(lanes);
+    for (std::size_t i = ch.first; i < ch.first + ch.count; ++i) {
+      write_net(sliced_in_ports_[i].first, lanes + in_bit_offset_[i], count);
+    }
+  }
+}
+
+std::vector<SimResult> SlicedKernel::run(
+    const std::vector<dfg::ValueId>& input_order,
+    const std::vector<dfg::ValueId>& output_order) {
+  const rtl::Design& d = design_;
+  const int P = d.clocks.period();
+  const int T = d.schedule_steps;
+  const int nphases = d.clocks.num_phases();
+  const std::size_t C = streams_[0].size();
+
+  // Port maps, resolved once (as in the scalar run()).
+  sliced_in_ports_.clear();
+  for (dfg::ValueId v : input_order) {
+    const rtl::Component& c = comps_[d.input_ports.at(v).index()];
+    sliced_in_ports_.emplace_back(c.output, c.width);
+  }
+  // Group consecutive ports into <=64-bit chunks for apply_inputs. The
+  // shared transpose costs ~384 plane ops; per-port slice_pack costs
+  // 64 x width — so the transpose wins once a chunk carries more than a
+  // handful of bits, and very narrow chunks keep the direct pack.
+  in_chunks_.clear();
+  in_bit_offset_.assign(sliced_in_ports_.size(), 0);
+  for (std::size_t i = 0; i < sliced_in_ports_.size();) {
+    InChunk ch;
+    ch.first = i;
+    unsigned bits = 0;
+    while (i < sliced_in_ports_.size() &&
+           bits + sliced_in_ports_[i].second <= 64) {
+      in_bit_offset_[i] = bits;
+      bits += sliced_in_ports_[i].second;
+      ++i;
+      ++ch.count;
+    }
+    ch.transpose = bits > 8;
+    in_chunks_.push_back(ch);
+  }
+  std::vector<CompId> out_storage;
+  out_storage.reserve(output_order.size());
+  for (dfg::ValueId v : output_order) {
+    out_storage.push_back(d.output_storage.at(v));
+  }
+  // Chunk the outputs for sampling exactly like the input ports: one shared
+  // transpose64 unpacks every output in a <=64-bit chunk at once.
+  std::vector<InChunk> out_chunks;
+  std::vector<unsigned> out_bit_offset(out_storage.size(), 0);
+  for (std::size_t i = 0; i < out_storage.size();) {
+    InChunk ch;
+    ch.first = i;
+    unsigned bits = 0;
+    while (i < out_storage.size() &&
+           bits + comps_[out_storage[i].index()].width <= 64) {
+      out_bit_offset[i] = bits;
+      bits += comps_[out_storage[i].index()].width;
+      ++i;
+      ++ch.count;
+    }
+    ch.transpose = bits > 8;
+    out_chunks.push_back(ch);
+  }
+
+  if (sim_.stream_heatmaps_) {
+    heat_counters_.assign(
+        static_cast<std::size_t>(nphases) * P * kCounterPlanes, 0);
+    heat_clock_.assign(static_cast<std::size_t>(nphases) * P, 0);
+  }
+
+  // An edge only needs the read-all-D-before-any-Q staging buffer when a
+  // register captured on it feeds another register captured on the same
+  // edge (a shift chain); everywhere else the captures commit directly.
+  std::vector<std::uint8_t> edge_needs_staging(
+      sim_.edge_captures_.size(), 0);
+  for (std::size_t t = 0; t < sim_.edge_captures_.size(); ++t) {
+    const auto& caps = sim_.edge_captures_[t];
+    for (CompId a : caps) {
+      const NetId d_in = comps_[a.index()].inputs[0];
+      for (CompId b : caps) {
+        if (comps_[b.index()].output == d_in) {
+          edge_needs_staging[t] = 1;
+          break;
+        }
+      }
+      if (edge_needs_staging[t]) break;
+    }
+  }
+  std::vector<std::uint64_t> phase_pulses(
+      static_cast<std::size_t>(nphases) + 1, 0);
+  std::uint64_t steps = 0;
+
+  // ---- preamble (uncounted), mirroring the scalar run() exactly ----------
+  {
+    mark_all_dirty();
+    for (const auto& [net, value] : sim_.control_reset_writes_) {
+      write_broadcast(net, value, false);
+    }
+    for (const auto& c : comps_) {
+      if (c.kind == CompKind::Constant) {
+        write_broadcast(c.output, from_signed(c.const_value, c.width), false);
+      }
+    }
+    if (C > 0) apply_inputs(0, false);
+    settle(false);
+    std::uint64_t buf[64];
+    for (CompId cid :
+         sim_.storage_by_phase_[static_cast<std::size_t>(nphases)]) {
+      const rtl::Component& c = comps_[cid.index()];
+      // Load enables are controller-driven (checked at construction), so
+      // one lane answers for all of them.
+      if (c.load.valid() && uniform_value(c.load) == 0) continue;
+      const std::uint64_t* dval = planes(c.inputs[0]);
+      std::copy(dval, dval + c.width, buf);
+      write_net(c.output, buf, false);
+    }
+    settle(false);
+  }
+
+  // ---- main loop ----------------------------------------------------------
+  std::vector<std::vector<OutputSample>> samples(
+      n_, std::vector<OutputSample>());
+  for (auto& s : samples) s.reserve(C);
+
+  for (std::size_t comp = 0; comp < C; ++comp) {
+    if (sim_.has_deadline_ &&
+        std::chrono::steady_clock::now() > sim_.deadline_) {
+      throw TimeoutError("sliced simulation exceeded its point deadline after " +
+                         std::to_string(comp) + " of " + std::to_string(C) +
+                         " computations");
+    }
+    for (int t = 1; t <= P; ++t) {
+      for (const auto& [net, value] :
+           sim_.control_step_writes_[static_cast<std::size_t>(t)]) {
+        write_broadcast(net, value, true);
+      }
+      if (t == P && comp + 1 < C) apply_inputs(comp + 1, true);
+      settle(true);
+
+      const int phase = sim_.phase_by_step_[static_cast<std::size_t>(t)];
+      ++phase_pulses[static_cast<std::size_t>(phase)];
+      const std::size_t cell = static_cast<std::size_t>(phase - 1) * P +
+                               static_cast<std::size_t>(t - 1);
+      const auto& clocked =
+          sim_.edge_clock_events_[static_cast<std::size_t>(t)];
+      for (CompId cid : clocked) ++clock_events_[cid.index()];
+      if (sim_.stream_heatmaps_) heat_clock_[cell] += clocked.size();
+
+      // Captures commit simultaneously: when an edge chains registers,
+      // stage every D input before any Q output changes.
+      const auto& caps = sim_.edge_captures_[static_cast<std::size_t>(t)];
+      const bool staged = edge_needs_staging[static_cast<std::size_t>(t)];
+      if (staged) {
+        capture_buf_.clear();
+        for (CompId cid : caps) {
+          const rtl::Component& c = comps_[cid.index()];
+          const std::uint64_t* dval = planes(c.inputs[0]);
+          capture_buf_.insert(capture_buf_.end(), dval, dval + c.width);
+        }
+      }
+      std::size_t off = 0;
+      for (CompId cid : caps) {
+        const rtl::Component& c = comps_[cid.index()];
+        const std::uint64_t* dval =
+            staged ? capture_buf_.data() + off : planes(c.inputs[0]);
+        off += c.width;
+        std::uint64_t* q = planes(c.output);
+        std::uint64_t diff[64];
+        std::uint64_t any = 0;
+        for (unsigned b = 0; b < c.width; ++b) {
+          diff[b] = dval[b] ^ q[b];
+          any |= diff[b];
+        }
+        if (any == 0) continue;
+        std::uint64_t sums[7];
+        const unsigned k = slice_popcount_planes(diff, c.width, sums);
+        bump(storage_counters_.data() + cid.index() * kCounterPlanes, sums, k);
+        bump(net_counters_.data() + c.output.index() * kCounterPlanes, sums,
+             k);
+        if (sim_.stream_heatmaps_) {
+          bump(heat_counters_.data() + cell * kCounterPlanes, sums, k);
+        }
+        for (unsigned b = 0; b < c.width; ++b) q[b] ^= diff[b];
+        mark_fanout_dirty(c.output);
+      }
+      settle(true);
+      ++steps;
+      if (t == T) {
+        std::uint64_t lanes[64];
+        for (std::size_t s = 0; s < n_; ++s) {
+          samples[s].emplace_back(out_storage.size());
+        }
+        for (const auto& ch : out_chunks) {
+          if (!ch.transpose) {
+            for (std::size_t o = ch.first; o < ch.first + ch.count; ++o) {
+              const rtl::Component& c = comps_[out_storage[o].index()];
+              slice_unpack(planes(c.output), c.width, n_, lanes);
+              for (std::size_t s = 0; s < n_; ++s) {
+                samples[s].back()[o] = lanes[s];
+              }
+            }
+            continue;
+          }
+          unsigned bits = 0;
+          for (std::size_t o = ch.first; o < ch.first + ch.count; ++o) {
+            const rtl::Component& c = comps_[out_storage[o].index()];
+            const std::uint64_t* pl = planes(c.output);
+            std::copy(pl, pl + c.width, lanes + bits);
+            bits += c.width;
+          }
+          std::fill(lanes + bits, lanes + 64, 0);
+          transpose64(lanes);
+          for (std::size_t o = ch.first; o < ch.first + ch.count; ++o) {
+            const unsigned w = comps_[out_storage[o].index()].width;
+            const unsigned off = out_bit_offset[o];
+            for (std::size_t s = 0; s < n_; ++s) {
+              samples[s].back()[o] = (lanes[s] >> off) & bit_mask(w);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- unpack per-stream records ------------------------------------------
+  std::vector<SimResult> results(n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    Activity& act = results[s].activity;
+    act.net_toggles.assign(nl_.num_nets(), 0);
+    act.storage_clock_events.assign(nl_.num_components(), 0);
+    act.storage_write_toggles.assign(nl_.num_components(), 0);
+    act.phase_pulses = phase_pulses;
+    act.steps = steps;
+    act.computations = C;
+    results[s].outputs = std::move(samples[s]);
+  }
+  std::uint64_t lanes[64];
+  auto unpack = [&](const std::uint64_t* counter, auto&& sink) {
+    std::fill(lanes, lanes + 64, 0);
+    std::copy(counter, counter + kCounterPlanes, lanes);
+    transpose64(lanes);  // counter planes -> per-lane totals
+    for (std::size_t s = 0; s < n_; ++s) sink(s, lanes[s]);
+  };
+  for (std::size_t i = 0; i < nl_.num_nets(); ++i) {
+    unpack(net_counters_.data() + i * kCounterPlanes,
+           [&](std::size_t s, std::uint64_t v) {
+             results[s].activity.net_toggles[i] = v;
+           });
+  }
+  for (std::size_t i = 0; i < nl_.num_components(); ++i) {
+    unpack(storage_counters_.data() + i * kCounterPlanes,
+           [&](std::size_t s, std::uint64_t v) {
+             results[s].activity.storage_write_toggles[i] = v;
+           });
+    for (std::size_t s = 0; s < n_; ++s) {
+      results[s].activity.storage_clock_events[i] = clock_events_[i];
+    }
+  }
+  if (sim_.stream_heatmaps_) {
+    auto& hms = *sim_.stream_heatmaps_;
+    hms.assign(n_, PhaseHeatmap());
+    for (auto& hm : hms) hm.resize(nphases, P);
+    for (std::size_t cell = 0; cell < heat_clock_.size(); ++cell) {
+      unpack(heat_counters_.data() + cell * kCounterPlanes,
+             [&](std::size_t s, std::uint64_t v) {
+               hms[s].write_toggles[cell] = v;
+             });
+      for (std::size_t s = 0; s < n_; ++s) {
+        hms[s].clock_events[cell] = heat_clock_[cell];
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::count("sim.sliced.runs");
+    obs::count("sim.sliced.streams", n_);
+    obs::count("sim.sliced.steps", steps * n_);
+    obs::count("sim.sliced.plane_evals", plane_evals_);
+  }
+  return results;
+}
+
+std::vector<SimResult> Simulator::run_sliced(
+    const std::vector<InputStream>& streams,
+    const std::vector<dfg::ValueId>& input_order,
+    const std::vector<dfg::ValueId>& output_order) {
+  obs::Span span("sim.run");
+  fault::inject("sim.run");
+  MCRTL_CHECK_MSG(mode_ == Mode::BitSliced,
+                  "run_sliced() requires a Mode::BitSliced simulator");
+  MCRTL_CHECK_MSG(!streams.empty() && streams.size() <= kMaxStreams,
+                  "run_sliced() batches 1.." << kMaxStreams << " streams, got "
+                                             << streams.size());
+  for (const auto& s : streams) {
+    MCRTL_CHECK_MSG(s.size() == streams[0].size(),
+                    "all sliced streams must have equal length");
+  }
+  SlicedKernel kernel(*this, streams);
+  return kernel.run(input_order, output_order);
+}
+
+}  // namespace mcrtl::sim

@@ -4,6 +4,41 @@
 
 namespace mcrtl::sim {
 
+namespace {
+// The xoshiro seeder, reused so stream-seed derivation shares the Rng's
+// avalanche properties (nearby base seeds -> uncorrelated stream seeds).
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::vector<std::uint64_t> stream_seeds(std::uint64_t seed,
+                                        std::size_t streams) {
+  std::vector<std::uint64_t> seeds(streams);
+  std::uint64_t state = seed;
+  for (auto& s : seeds) s = splitmix64(state);
+  return seeds;
+}
+
+std::vector<InputStream> uniform_streams(std::uint64_t seed,
+                                         std::size_t streams,
+                                         std::size_t num_inputs,
+                                         std::size_t computations,
+                                         unsigned width) {
+  const auto seeds = stream_seeds(seed, streams);
+  std::vector<InputStream> bundle;
+  bundle.reserve(streams);
+  for (std::uint64_t s : seeds) {
+    Rng rng(s);
+    bundle.push_back(uniform_stream(rng, num_inputs, computations, width));
+  }
+  return bundle;
+}
+
 InputStream uniform_stream(Rng& rng, std::size_t num_inputs,
                            std::size_t computations, unsigned width) {
   InputStream s(computations, std::vector<std::uint64_t>(num_inputs));

@@ -16,6 +16,25 @@ namespace mcrtl::sim {
 InputStream uniform_stream(Rng& rng, std::size_t num_inputs,
                            std::size_t computations, unsigned width);
 
+/// Independent per-stream seeds for a Monte-Carlo bundle, derived from one
+/// base seed with splitmix64 (the same scheme Rng uses to expand its own
+/// state, so nearby base seeds still give uncorrelated streams). Element s
+/// seeds stream s; the whole bundle is a pure function of `seed`.
+std::vector<std::uint64_t> stream_seeds(std::uint64_t seed,
+                                        std::size_t streams);
+
+/// A bundle of `streams` independent uniform streams for the bit-sliced
+/// kernel: element s is uniform_stream() driven by an Rng seeded with
+/// stream_seeds(seed, streams)[s]. Stream s's contents depend only on
+/// (seed, s, num_inputs, computations, width) — not on how many other
+/// streams ride in the bundle — so one stream can be replayed alone
+/// through the scalar kernel for differential checking.
+std::vector<InputStream> uniform_streams(std::uint64_t seed,
+                                         std::size_t streams,
+                                         std::size_t num_inputs,
+                                         std::size_t computations,
+                                         unsigned width);
+
 /// First-order correlated stream: each word is the previous word with each
 /// bit flipped with probability `flip_prob` (0.5 = uniform, 0 = constant).
 InputStream correlated_stream(Rng& rng, std::size_t num_inputs,

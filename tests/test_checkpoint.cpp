@@ -55,6 +55,8 @@ std::string report_bytes(const core::ExplorationResult& r) {
     rec.width = 4;
     rec.computations = 120;
     rec.power = p.power;
+    rec.power_stddev = p.power_stddev;
+    rec.power_ci95 = p.power_ci95;
     rec.area = p.area;
     rec.stats = p.stats;
     recs.push_back(std::move(rec));
@@ -215,6 +217,34 @@ TEST(CheckpointTest, StaleJournalIsRejected) {
   execution_only.quarantine = true;
   const auto r = core::explore(*b.graph, *b.schedule, execution_only);
   EXPECT_EQ(r.replayed_points, r.points.size());
+}
+
+TEST(CheckpointTest, SlicedSweepResumesWithSpreadIntact) {
+  // A multi-stream sweep journals the spread statistics alongside the
+  // power means; an interrupted run must replay them bit-exactly.
+  const auto b = suite::by_name("facet", 4);
+  auto sliced = small_config();
+  sliced.streams = 8;
+  const auto baseline = core::explore(*b.graph, *b.schedule, sliced);
+  for (const auto& p : baseline.points) {
+    EXPECT_GT(p.power_stddev, 0.0) << p.label;
+  }
+
+  TempPath journal("ck_sliced.journal");
+  interrupt_after(*b.graph, *b.schedule, sliced, journal.path, 2);
+  auto cfg = sliced;
+  cfg.checkpoint_file = journal.path;
+  cfg.jobs = 4;
+  const auto resumed = core::explore(*b.graph, *b.schedule, cfg);
+  EXPECT_EQ(resumed.replayed_points, 2u);
+  EXPECT_EQ(report_bytes(baseline), report_bytes(resumed));
+
+  // The stream count changes what is measured, so it is part of the
+  // fingerprint: reopening the journal at a different width is stale.
+  auto other_streams = cfg;
+  other_streams.streams = 16;
+  EXPECT_THROW(core::explore(*b.graph, *b.schedule, other_streams),
+               core::JournalMismatchError);
 }
 
 TEST(CheckpointTest, GarbageJournalFileDegradesToFreshSweep) {

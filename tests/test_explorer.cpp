@@ -2,6 +2,8 @@
 // writers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/explorer.hpp"
 #include "power/report.hpp"
 #include "suite/benchmarks.hpp"
@@ -80,6 +82,59 @@ TEST(ExplorerTest, MultiClockWinsOnPaperBenchmarks) {
     const auto r = explore_small(name);
     EXPECT_EQ(r.best_power().options.style, DesignStyle::MultiClock) << name;
     EXPECT_GT(r.best_power().options.num_clocks, 1) << name;
+  }
+}
+
+TEST(ExplorerTest, StreamsOneMatchesHistoricalScalarPath) {
+  // streams == 1 must stay byte-identical to the pre-streams explorer: same
+  // single EventDriven run, zero spread columns.
+  ExplorerConfig base;
+  ExplorerConfig one;
+  one.streams = 1;
+  const auto a = explore_small("facet", base);
+  const auto b = explore_small("facet", one);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].label, b.points[i].label);
+    EXPECT_EQ(a.points[i].power.total, b.points[i].power.total);
+    EXPECT_EQ(b.points[i].power_stddev, 0.0);
+    EXPECT_EQ(b.points[i].power_ci95, 0.0);
+  }
+}
+
+TEST(ExplorerTest, SlicedSweepIsJobsDeterministic) {
+  // A multi-stream sweep must not depend on worker scheduling: any --jobs
+  // value yields bit-identical points, including the spread statistics.
+  ExplorerConfig serial;
+  serial.streams = 8;
+  serial.jobs = 1;
+  ExplorerConfig parallel = serial;
+  parallel.jobs = 4;
+  const auto a = explore_small("hal", serial);
+  const auto b = explore_small("hal", parallel);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].label, b.points[i].label);
+    EXPECT_EQ(a.points[i].power.total, b.points[i].power.total);
+    EXPECT_EQ(a.points[i].power_stddev, b.points[i].power_stddev);
+    EXPECT_EQ(a.points[i].power_ci95, b.points[i].power_ci95);
+    EXPECT_EQ(a.points[i].area.total, b.points[i].area.total);
+  }
+}
+
+TEST(ExplorerTest, SlicedSweepReportsSpread) {
+  ExplorerConfig cfg;
+  cfg.streams = 16;
+  const auto r = explore_small("biquad", cfg);
+  ASSERT_FALSE(r.points.empty());
+  for (const auto& p : r.points) {
+    // Independent stimulus streams produce genuinely different activity, so
+    // a real spread; ci95 is tied to stddev by the fixed-n formula.
+    EXPECT_GT(p.power_stddev, 0.0) << p.label;
+    EXPECT_NEAR(p.power_ci95, 1.96 * p.power_stddev / std::sqrt(16.0),
+                1e-12 * p.power_stddev)
+        << p.label;
+    EXPECT_GT(p.power.total, 0.0) << p.label;
   }
 }
 

@@ -21,6 +21,9 @@ power::ExperimentRecord sample_record() {
   r.benchmark = "facet";
   r.width = 4;
   r.computations = 1200;
+  r.streams = 16;
+  r.power_stddev = 0.25;
+  r.power_ci95 = 0.1225;
   r.power.total = 12.5;
   r.power.combinational = 6.25;
   r.power.storage = 3.125;
@@ -49,9 +52,9 @@ std::string first_line(const std::string& s) {
 TEST(Report, CsvHeaderHasStableColumnOrder) {
   const auto csv = power::to_csv({});
   EXPECT_EQ(first_line(csv),
-            "experiment,design,benchmark,width,computations,"
+            "experiment,design,benchmark,width,computations,streams,"
             "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
-            "power_control_mw,power_io_mw,"
+            "power_control_mw,power_io_mw,power_stddev_mw,power_ci95_mw,"
             "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
             "area_controller_l2,"
             "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary");
@@ -73,17 +76,20 @@ TEST(Report, CsvRowMatchesRecordFields) {
   std::istringstream rs(row);
   std::string cell;
   while (std::getline(rs, cell, ',')) cells.push_back(cell);
-  ASSERT_EQ(cells.size(), 21u);
+  ASSERT_EQ(cells.size(), 24u);
   EXPECT_EQ(cells[0], "table1_facet");
   EXPECT_EQ(cells[1], "3 Clocks");
   EXPECT_EQ(cells[2], "facet");
   EXPECT_EQ(cells[3], "4");
   EXPECT_EQ(cells[4], "1200");
-  EXPECT_EQ(cells[5], "12.500000");   // power_total_mw
-  EXPECT_EQ(cells[11], "2000000");    // area_total_l2
-  EXPECT_EQ(cells[16], "3");          // num_alus
-  EXPECT_EQ(cells[17], "40");         // mem_cells
-  EXPECT_EQ(cells[20], "2add+1mul");
+  EXPECT_EQ(cells[5], "16");          // streams
+  EXPECT_EQ(cells[6], "12.500000");   // power_total_mw
+  EXPECT_EQ(cells[12], "0.250000");   // power_stddev_mw
+  EXPECT_EQ(cells[13], "0.122500");   // power_ci95_mw
+  EXPECT_EQ(cells[14], "2000000");    // area_total_l2
+  EXPECT_EQ(cells[19], "3");          // num_alus
+  EXPECT_EQ(cells[20], "40");         // mem_cells
+  EXPECT_EQ(cells[23], "2add+1mul");
 }
 
 TEST(Report, CsvQuotesFieldsWithSpecialCharacters) {
@@ -135,8 +141,11 @@ TEST(Report, JsonRoundTripsAllFields) {
     EXPECT_EQ(j.at("benchmark").str, r.benchmark);
     EXPECT_EQ(j.at("width").number, r.width);
     EXPECT_EQ(j.at("computations").number, r.computations);
+    EXPECT_EQ(j.at("streams").number, r.streams);
     // %.6f keeps these exact for the magnitudes used here.
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("total").number, r.power.total);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("stddev").number, r.power_stddev);
+    EXPECT_DOUBLE_EQ(j.at("power_mw").at("ci95").number, r.power_ci95);
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("comb").number, r.power.combinational);
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("storage").number, r.power.storage);
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("clock").number, r.power.clock_tree);

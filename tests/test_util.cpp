@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -149,6 +150,181 @@ TEST(BitsTest, SignExtension) {
   EXPECT_EQ(to_signed(0xF, 4), -1);
   EXPECT_EQ(to_signed(0x8, 4), -8);
   EXPECT_EQ(to_signed(0x7, 4), 7);
+}
+
+// ---- bit-slice primitive properties ----------------------------------------
+//
+// The sliced simulator kernel (sim/sliced.cpp) is only as correct as these
+// building blocks, so each one is checked against a plain scalar loop over
+// the lanes, at the width extremes (1, 63, 64) and on random data.
+
+namespace slices {
+
+constexpr unsigned kWidths[] = {1, 4, 63, 64};
+
+/// Random planes where every lane carries an independent width-bit word.
+std::array<std::uint64_t, 64> random_planes(Rng& rng, unsigned width) {
+  std::array<std::uint64_t, 64> lanes{};
+  for (auto& w : lanes) w = rng.next_bits(width);
+  std::array<std::uint64_t, 64> planes = lanes;
+  transpose64(planes.data());
+  return planes;
+}
+
+}  // namespace slices
+
+TEST(SliceTest, Transpose64IsAMainDiagonalTransposeAndInvolution) {
+  Rng rng(2024);
+  std::array<std::uint64_t, 64> m{};
+  for (auto& row : m) row = rng.next();
+  auto t = m;
+  transpose64(t.data());
+  for (unsigned i = 0; i < 64; ++i) {
+    for (unsigned j = 0; j < 64; ++j) {
+      EXPECT_EQ((t[i] >> j) & 1, (m[j] >> i) & 1) << i << "," << j;
+    }
+  }
+  transpose64(t.data());
+  EXPECT_EQ(t, m);
+}
+
+TEST(SliceTest, BroadcastAndExtractLaneRoundTrip) {
+  Rng rng(2025);
+  for (const unsigned width : slices::kWidths) {
+    // Broadcast: every lane reads back the scalar.
+    const std::uint64_t v = rng.next_bits(width);
+    std::array<std::uint64_t, 64> planes{};
+    slice_broadcast(v, width, planes.data());
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      EXPECT_EQ(slice_extract_lane(planes.data(), width, lane), v);
+    }
+    // Pack via transpose: each lane reads back its own word.
+    std::array<std::uint64_t, 64> lanes{};
+    for (auto& w : lanes) w = rng.next_bits(width);
+    auto packed = lanes;
+    transpose64(packed.data());
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      EXPECT_EQ(slice_extract_lane(packed.data(), width, lane), lanes[lane]);
+    }
+  }
+}
+
+TEST(SliceTest, AddAndSubMatchScalarPerLane) {
+  Rng rng(2026);
+  for (const unsigned width : slices::kWidths) {
+    for (int round = 0; round < 8; ++round) {
+      const auto a = slices::random_planes(rng, width);
+      const auto b = slices::random_planes(rng, width);
+      const std::uint64_t cin = rng.next();
+
+      std::array<std::uint64_t, 64> sum{};
+      const std::uint64_t cout =
+          slice_add(a.data(), b.data(), width, sum.data(), cin);
+      std::array<std::uint64_t, 64> diff{};
+      const std::uint64_t no_borrow =
+          slice_sub(a.data(), b.data(), width, diff.data());
+
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        const std::uint64_t x = slice_extract_lane(a.data(), width, lane);
+        const std::uint64_t y = slice_extract_lane(b.data(), width, lane);
+        const std::uint64_t c = (cin >> lane) & 1;
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(x) + y + c;
+        EXPECT_EQ(slice_extract_lane(sum.data(), width, lane),
+                  truncate(static_cast<std::uint64_t>(wide), width));
+        EXPECT_EQ((cout >> lane) & 1,
+                  static_cast<std::uint64_t>((wide >> width) & 1));
+        EXPECT_EQ(slice_extract_lane(diff.data(), width, lane),
+                  truncate(x - y, width));
+        EXPECT_EQ((no_borrow >> lane) & 1, x >= y ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(SliceTest, AddIsAliasingSafe) {
+  Rng rng(2027);
+  const unsigned width = 16;
+  auto a = slices::random_planes(rng, width);
+  const auto b = slices::random_planes(rng, width);
+  auto expected = a;
+  std::array<std::uint64_t, 64> out{};
+  slice_add(expected.data(), b.data(), width, out.data());
+  slice_add(a.data(), b.data(), width, a.data());  // out aliases a
+  for (unsigned i = 0; i < width; ++i) EXPECT_EQ(a[i], out[i]);
+}
+
+TEST(SliceTest, ComparesAndMuxMatchScalarPerLane) {
+  Rng rng(2028);
+  for (const unsigned width : slices::kWidths) {
+    for (int round = 0; round < 8; ++round) {
+      auto a = slices::random_planes(rng, width);
+      auto b = slices::random_planes(rng, width);
+      if (round & 1) {
+        // Force lane collisions so the eq masks are not all-zero.
+        for (unsigned i = 0; i < width; ++i) b[i] = a[i];
+        b[0] ^= rng.next();
+      }
+      const std::uint64_t c = rng.next_bits(width);
+      const std::uint64_t eq = slice_eq(a.data(), b.data(), width);
+      const std::uint64_t eqc = slice_eq_const(a.data(), width, c);
+      const std::uint64_t lt = slice_lt_signed(a.data(), b.data(), width);
+      const std::uint64_t sel = rng.next();
+      std::array<std::uint64_t, 64> mux{};
+      slice_mux(sel, a.data(), b.data(), width, mux.data());
+
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        const std::uint64_t x = slice_extract_lane(a.data(), width, lane);
+        const std::uint64_t y = slice_extract_lane(b.data(), width, lane);
+        EXPECT_EQ((eq >> lane) & 1, x == y ? 1u : 0u);
+        EXPECT_EQ((eqc >> lane) & 1, x == c ? 1u : 0u);
+        EXPECT_EQ((lt >> lane) & 1,
+                  to_signed(x, width) < to_signed(y, width) ? 1u : 0u)
+            << "width=" << width << " lane=" << lane;
+        EXPECT_EQ(slice_extract_lane(mux.data(), width, lane),
+                  (sel >> lane) & 1 ? x : y);
+      }
+    }
+  }
+}
+
+TEST(SliceTest, PopcountPlanesAndCounterAddMatchScalarSums) {
+  Rng rng(2029);
+  for (const unsigned width : slices::kWidths) {
+    constexpr unsigned kCounterPlanes = 20;
+    std::array<std::uint64_t, kCounterPlanes> counter{};
+    std::array<std::uint64_t, 64> scalar_sums{};
+    for (int round = 0; round < 16; ++round) {
+      std::array<std::uint64_t, 64> masks{};
+      for (unsigned i = 0; i < width; ++i) masks[i] = rng.next();
+      std::array<std::uint64_t, 7> pop{};
+      const unsigned planes =
+          slice_popcount_planes(masks.data(), width, pop.data());
+      ASSERT_LE(planes, 7u);
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        unsigned expect = 0;
+        for (unsigned i = 0; i < width; ++i) expect += (masks[i] >> lane) & 1;
+        EXPECT_EQ(slice_extract_lane(pop.data(), planes, lane), expect);
+        scalar_sums[lane] += expect;
+      }
+      ASSERT_TRUE(slice_counter_add(counter.data(), kCounterPlanes, pop.data(),
+                                    planes));
+    }
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      EXPECT_EQ(slice_extract_lane(counter.data(), kCounterPlanes, lane),
+                scalar_sums[lane])
+          << "width=" << width << " lane=" << lane;
+    }
+  }
+}
+
+TEST(SliceTest, CounterAddReportsOverflow) {
+  // A one-plane counter holds 0..1 per lane: the third increment of the
+  // same lane must report overflow instead of wrapping silently.
+  std::array<std::uint64_t, 1> counter{};
+  const std::array<std::uint64_t, 1> one{{1}};  // lane 0 += 1
+  EXPECT_TRUE(slice_counter_add(counter.data(), 1, one.data(), 1));
+  EXPECT_FALSE(slice_counter_add(counter.data(), 1, one.data(), 1));
 }
 
 TEST(StringsTest, Format) {

@@ -24,6 +24,11 @@
 //   --isolation      add hold-mode operand isolation
 //   --computations N simulation length (default 2000)
 //   --seed N         stimulus seed (default 1996)
+//   --streams N      (explore) independent Monte-Carlo stimulus streams per
+//                    point, 1..64 (default 1). N > 1 switches points to the
+//                    bit-sliced batch kernel: power becomes the per-stream
+//                    mean and the CSV/JSON rows carry power_stddev_mw /
+//                    power_ci95_mw
 //   --csv FILE       also write measured rows as CSV
 //   --json FILE      (explore) also write measured rows as JSON
 //   --jobs N         worker threads for table/explore (default: all cores;
@@ -97,6 +102,7 @@ struct CliOptions {
   bool isolation = false;
   std::size_t computations = 2000;
   std::uint64_t seed = 1996;
+  std::size_t streams = 1;
   std::string csv_file;
   std::string json_file;
   int jobs = 0;  // <= 0: auto (hardware concurrency)
@@ -124,8 +130,8 @@ int usage() {
                "[--dfg file] [--clocks N] [--width W]\n"
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
-               "             [--computations N] [--seed N] [--csv file] "
-               "[--json file] [--jobs N]\n"
+               "             [--computations N] [--seed N] [--streams N] "
+               "[--csv file] [--json file] [--jobs N]\n"
                "             [--checkpoint file] [--point-timeout s] "
                "[--retries N] [--backoff ms]\n"
                "             [--no-quarantine] [--fault-inject spec]\n"
@@ -174,6 +180,10 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       const char* v = next();
       if (!v) return false;
       o.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--streams") {
+      const char* v = next();
+      if (!v) return false;
+      o.streams = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--csv") {
       const char* v = next();
       if (!v) return false;
@@ -417,6 +427,7 @@ int cmd_explore(const CliOptions& o) {
   cfg.include_dff_variant = o.dff;
   cfg.computations = o.computations;
   cfg.seed = o.seed;
+  cfg.streams = o.streams;
   cfg.jobs = o.jobs;
   cfg.checkpoint_file = o.checkpoint_file;
   cfg.point_timeout_s = o.point_timeout_s;
@@ -470,18 +481,34 @@ int cmd_explore(const CliOptions& o) {
                 o.checkpoint_file.c_str());
   }
   std::printf("\n\n");
-  TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
+  // With a multi-stream sweep the table gains the 95% confidence half-width
+  // of the per-stream power totals; single-stream keeps the historical shape.
+  const bool sliced = o.streams > 1;
+  TextTable t(sliced ? std::vector<std::string>{"configuration", "P[mW]",
+                                                "+/-95%", "area[1e6 l^2]",
+                                                "Pareto"}
+                     : std::vector<std::string>{"configuration", "P[mW]",
+                                                "area[1e6 l^2]", "Pareto"});
   std::vector<power::ExperimentRecord> recs;
   for (const auto& p : r.points) {
-    t.add_row({p.label, format_fixed(p.power.total, 2),
-               format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    if (sliced) {
+      t.add_row({p.label, format_fixed(p.power.total, 2),
+                 format_fixed(p.power_ci95, 2),
+                 format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    } else {
+      t.add_row({p.label, format_fixed(p.power.total, 2),
+                 format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    }
     power::ExperimentRecord rec;
     rec.experiment = "cli_explore";
     rec.design = p.label;
     rec.benchmark = l.name;
     rec.width = l.graph->width();
     rec.computations = o.computations;
+    rec.streams = o.streams;
     rec.power = p.power;
+    rec.power_stddev = p.power_stddev;
+    rec.power_ci95 = p.power_ci95;
     rec.area = p.area;
     rec.stats = p.stats;
     recs.push_back(std::move(rec));
