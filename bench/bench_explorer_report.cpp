@@ -5,7 +5,10 @@
 // Each benchmark is explored twice — serially (jobs = 1) and on the
 // work-stealing pool (jobs = all cores, or --jobs N) — both to measure the
 // parallel speedup and to assert the determinism contract: the two runs
-// must agree bit-for-bit on labels, power, area and Pareto flags.
+// must agree bit-for-bit on labels, power, area, attribution (hotspot and
+// crest) and Pareto flags. Every timed leg repeats kReps times and reports
+// pct50/pct90/pct99 + stddev (util/stats.hpp); headline seconds are the
+// medians.
 //
 // The facet benchmark additionally runs a checkpoint/resume leg: a
 // journalled sweep is interrupted partway, resumed, and the resumed run's
@@ -26,6 +29,7 @@
 #include "power/report.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +57,9 @@ std::vector<power::ExperimentRecord> to_records(
     rec.width = 4;
     rec.computations = computations;
     rec.power = p.power;
+    rec.hotspot = p.hotspot;
+    rec.hotspot_share = p.hotspot_share;
+    rec.crest = p.crest;
     rec.area = p.area;
     rec.stats = p.stats;
     recs.push_back(std::move(rec));
@@ -67,11 +74,19 @@ bool identical(const core::ExplorationResult& a,
     const auto& p = a.points[i];
     const auto& q = b.points[i];
     if (p.label != q.label || p.pareto != q.pareto ||
-        p.power.total != q.power.total || p.area.total != q.area.total) {
+        p.power.total != q.power.total || p.area.total != q.area.total ||
+        p.hotspot != q.hotspot || p.hotspot_share != q.hotspot_share ||
+        p.crest != q.crest) {
       return false;
     }
   }
   return true;
+}
+
+void emit_timing(std::ofstream& js, const RunStats& s) {
+  js << "\"pct50\": " << s.pct50 << ", \"pct90\": " << s.pct90
+     << ", \"pct99\": " << s.pct99 << ", \"stddev\": " << s.stddev
+     << ", \"reps\": " << s.n;
 }
 
 }  // namespace
@@ -90,12 +105,13 @@ int main(int argc, char** argv) {
               resolved_jobs);
   std::vector<power::ExperimentRecord> records;
 
+  constexpr int kReps = 5;  // timing samples per leg (pct50 is the headline)
   struct BenchTiming {
     std::string name;
     std::size_t points = 0;
-    double serial_s = 0;
-    double parallel_s = 0;
-    double traced_s = 0;  ///< parallel again, with obs:: collection on
+    RunStats serial;
+    RunStats parallel;
+    RunStats traced;  ///< parallel again, with obs:: collection on
   };
   std::vector<BenchTiming> timings;
   struct ResumeStats {
@@ -118,15 +134,30 @@ int main(int argc, char** argv) {
     BenchTiming tm;
     tm.name = name;
 
+    // Each leg runs kReps times; the first rep's result feeds the identity
+    // checks (every rep is bit-identical by the determinism contract, which
+    // the serial-vs-parallel-vs-traced comparison asserts below).
     cfg.jobs = 1;
-    auto t0 = std::chrono::steady_clock::now();
-    const auto serial = core::explore(*b.graph, *b.schedule, cfg);
-    tm.serial_s = seconds_since(t0);
+    core::ExplorationResult serial;
+    std::vector<double> serial_samples;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto res = core::explore(*b.graph, *b.schedule, cfg);
+      serial_samples.push_back(seconds_since(t0));
+      if (rep == 0) serial = std::move(res);
+    }
+    tm.serial = RunStats::from_samples(std::move(serial_samples));
 
     cfg.jobs = static_cast<int>(resolved_jobs);
-    t0 = std::chrono::steady_clock::now();
-    const auto r = core::explore(*b.graph, *b.schedule, cfg);
-    tm.parallel_s = seconds_since(t0);
+    core::ExplorationResult r;
+    std::vector<double> par_samples;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto res = core::explore(*b.graph, *b.schedule, cfg);
+      par_samples.push_back(seconds_since(t0));
+      if (rep == 0) r = std::move(res);
+    }
+    tm.parallel = RunStats::from_samples(std::move(par_samples));
     tm.points = r.points.size();
 
     if (!identical(serial, r)) {
@@ -136,13 +167,20 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // Third run with observability collection on: gathers the per-phase
-    // span/counter profile for BENCH_explorer.json and asserts the tracing
-    // determinism contract (results bit-identical with collection on).
+    // Third leg with observability collection on: gathers the per-phase
+    // span/counter/histogram profile for BENCH_explorer.json and asserts
+    // the tracing determinism contract (results bit-identical with
+    // collection on).
     obs::set_enabled(true);
-    t0 = std::chrono::steady_clock::now();
-    const auto traced = core::explore(*b.graph, *b.schedule, cfg);
-    tm.traced_s = seconds_since(t0);
+    core::ExplorationResult traced;
+    std::vector<double> traced_samples;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto res = core::explore(*b.graph, *b.schedule, cfg);
+      traced_samples.push_back(seconds_since(t0));
+      if (rep == 0) traced = std::move(res);
+    }
+    tm.traced = RunStats::from_samples(std::move(traced_samples));
     obs::set_enabled(false);
     if (!identical(serial, traced)) {
       std::fprintf(stderr,
@@ -172,7 +210,7 @@ int main(int argc, char** argv) {
           throw mcrtl::Error("bench: simulated interruption");
         }
       };
-      t0 = std::chrono::steady_clock::now();
+      auto t0 = std::chrono::steady_clock::now();
       bool interrupted = false;
       try {
         core::explore(*b.graph, *b.schedule, ck);
@@ -205,12 +243,14 @@ int main(int argc, char** argv) {
                   "%zu replayed, reports byte-identical "
                   "(interrupted %.2fs + resumed %.2fs vs serial %.2fs)\n",
                   resume.completed_before_interrupt, resume.replayed,
-                  resume.interrupted_s, resume.resumed_s, tm.serial_s);
+                  resume.interrupted_s, resume.resumed_s, tm.serial.pct50);
     }
 
-    std::printf("%s:  (serial %.2fs, %u jobs %.2fs, %.2fx; traced %.2fs)\n",
-                name, tm.serial_s, resolved_jobs,
-                tm.parallel_s, tm.serial_s / tm.parallel_s, tm.traced_s);
+    std::printf("%s:  (serial pct50 %.2fs, %u jobs pct50 %.2fs ±%.3fs, "
+                "%.2fx; traced %.2fs)\n",
+                name, tm.serial.pct50, resolved_jobs, tm.parallel.pct50,
+                tm.parallel.stddev, tm.serial.pct50 / tm.parallel.pct50,
+                tm.traced.pct50);
     TextTable t({"configuration", "P[mW]", "area[1e6 l^2]", "Pareto"});
     for (const auto& p : r.points) {
       t.add_row({p.label, format_fixed(p.power.total, 2),
@@ -222,6 +262,9 @@ int main(int argc, char** argv) {
       rec.width = 4;
       rec.computations = cfg.computations;
       rec.power = p.power;
+      rec.hotspot = p.hotspot;
+      rec.hotspot_share = p.hotspot_share;
+      rec.crest = p.crest;
       rec.area = p.area;
       rec.stats = p.stats;
       records.push_back(std::move(rec));
@@ -234,16 +277,17 @@ int main(int argc, char** argv) {
   std::ofstream("mcrtl_exploration.csv") << power::to_csv(records);
   std::ofstream("mcrtl_exploration.json") << power::to_json(records);
 
-  // Machine-readable perf record for this and future PRs.
+  // Machine-readable perf record for this and future PRs (totals are sums
+  // of per-benchmark medians).
   double serial_total = 0, parallel_total = 0;
   std::size_t total_points = 0;
   for (const auto& tm : timings) {
-    serial_total += tm.serial_s;
-    parallel_total += tm.parallel_s;
+    serial_total += tm.serial.pct50;
+    parallel_total += tm.parallel.pct50;
     total_points += tm.points;
   }
   double traced_total = 0;
-  for (const auto& tm : timings) traced_total += tm.traced_s;
+  for (const auto& tm : timings) traced_total += tm.traced.pct50;
   {
     std::ofstream js("BENCH_explorer.json");
     js << "{\n  \"jobs\": " << resolved_jobs
@@ -255,11 +299,17 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < timings.size(); ++i) {
       const auto& tm = timings[i];
       js << "    {\"name\": \"" << tm.name << "\", \"points\": " << tm.points
-         << ", \"serial_seconds\": " << tm.serial_s
-         << ", \"parallel_seconds\": " << tm.parallel_s
-         << ", \"traced_seconds\": " << tm.traced_s
-         << ", \"speedup\": " << tm.serial_s / tm.parallel_s
-         << ", \"points_per_second\": " << tm.points / tm.parallel_s << "}"
+         << ", \"serial_seconds\": " << tm.serial.pct50
+         << ", \"parallel_seconds\": " << tm.parallel.pct50
+         << ", \"traced_seconds\": " << tm.traced.pct50
+         << ",\n     \"serial_timing\": {";
+      emit_timing(js, tm.serial);
+      js << "},\n     \"parallel_timing\": {";
+      emit_timing(js, tm.parallel);
+      js << "},\n     \"traced_timing\": {";
+      emit_timing(js, tm.traced);
+      js << "},\n     \"speedup\": " << tm.serial.pct50 / tm.parallel.pct50
+         << ", \"points_per_second\": " << tm.points / tm.parallel.pct50 << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
     }
     js << "  ],\n  \"serial_seconds_total\": " << serial_total
@@ -295,7 +345,19 @@ int main(int argc, char** argv) {
       js << (i ? "," : "") << "\n    \"" << counters[i].first
          << "\": " << counters[i].second;
     }
-    js << (counters.empty() ? "}" : "\n  }") << "\n}\n";
+    js << (counters.empty() ? "}" : "\n  }");
+    // Value distributions observed during the traced runs (per-step energy
+    // etc.); percentiles are log2-bucket upper bounds, see obs::HistogramStats.
+    js << ",\n  \"histograms\": {";
+    const auto hists = obs::Registry::instance().histograms();
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+      const auto& h = hists[i];
+      js << (i ? "," : "") << "\n    \"" << h.name << "\": {\"count\": "
+         << h.count << ", \"mean\": " << h.mean() << ", \"pct50\": "
+         << h.pct(0.50) << ", \"pct90\": " << h.pct(0.90) << ", \"pct99\": "
+         << h.pct(0.99) << ", \"max\": " << h.max << "}";
+    }
+    js << (hists.empty() ? "}" : "\n  }") << "\n}\n";
   }
   std::printf("wrote mcrtl_exploration.csv / .json (%zu records), "
               "BENCH_explorer.json (total speedup %.2fx at %u jobs)\n",

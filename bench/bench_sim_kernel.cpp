@@ -16,7 +16,12 @@
 //  3. per-stream identity — every sliced result must be bit-identical to
 //     the corresponding serial run;
 //  4. batch throughput — aggregate streams x steps/s of the sliced kernel
-//     must be at least 8x the serial baseline.
+//     must be at least 8x the serial baseline, measured on the median rep.
+//
+// Timing is reported as percentiles over the reps (pct50/pct90/pct99 +
+// stddev, see util/stats.hpp) rather than best-of-N: the median is what
+// the speedup floor checks, the tail and spread make runner noise visible
+// in BENCH_sim.json instead of silently erased.
 //
 // Exit code is nonzero if any guard fails. Writes BENCH_sim.json (cwd).
 #include <algorithm>
@@ -31,6 +36,7 @@
 #include "sim/stimulus.hpp"
 #include "suite/benchmarks.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -44,14 +50,20 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 struct KernelRun {
-  double seconds = 0;
+  RunStats timing;  // wall-clock percentiles over the reps
   std::uint64_t steps = 0;
   std::uint64_t evals = 0;
-  double steps_per_sec() const { return steps / seconds; }
+  double steps_per_sec() const { return steps / timing.pct50; }
   double evals_per_step() const {
     return static_cast<double>(evals) / static_cast<double>(steps);
   }
 };
+
+void emit_timing(std::ofstream& js, const RunStats& s) {
+  js << "\"pct50\": " << s.pct50 << ", \"pct90\": " << s.pct90
+     << ", \"pct99\": " << s.pct99 << ", \"stddev\": " << s.stddev
+     << ", \"reps\": " << s.n;
+}
 
 struct ConfigRow {
   std::string bench;
@@ -72,24 +84,24 @@ bool identical(const sim::SimResult& a, const sim::SimResult& b) {
 struct SlicedRow {
   std::string bench;
   int num_clocks = 0;
-  double sliced_seconds = 0;    // one 64-stream bit-sliced pass
-  double serial_seconds = 0;    // 64 one-at-a-time event-driven runs
+  RunStats sliced;               // one 64-stream bit-sliced pass per rep
+  RunStats serial;               // 64 one-at-a-time event-driven runs per rep
   std::uint64_t lane_steps = 0;  // streams x steps
-  double sliced_throughput() const { return lane_steps / sliced_seconds; }
-  double serial_throughput() const { return lane_steps / serial_seconds; }
-  double speedup() const { return serial_seconds / sliced_seconds; }
+  double sliced_throughput() const { return lane_steps / sliced.pct50; }
+  double serial_throughput() const { return lane_steps / serial.pct50; }
+  double speedup() const { return serial.pct50 / sliced.pct50; }
 };
 
 }  // namespace
 
 int main() {
   constexpr std::size_t kComputations = 3000;
-  constexpr int kReps = 3;  // best-of, to shrug off scheduler noise
+  constexpr int kReps = 5;  // enough samples for a meaningful median + tail
   std::vector<ConfigRow> rows;
   bool ok = true;
 
   std::printf("=== settle kernel: oblivious sweep vs event-driven worklist "
-              "(%zu computations/run, best of %d) ===\n\n",
+              "(%zu computations/run, median of %d) ===\n\n",
               kComputations, kReps);
   for (const char* name : {"facet", "hal", "biquad", "bandpass"}) {
     const auto b = suite::by_name(name, 4);
@@ -106,27 +118,27 @@ int main() {
       row.num_clocks = n;
       row.comb_components = syn.design->netlist.comb_order().size();
 
-      // Fresh simulators per rep (kernel_stats accumulate); the timed
-      // quantity is the best rep of each kernel over the identical stream.
+      // Fresh simulators per rep (kernel_stats accumulate); every rep's
+      // wall time feeds the percentile stats over the identical stream.
       sim::SimResult rob, rev;
-      row.oblivious.seconds = 1e100;
-      row.event.seconds = 1e100;
+      std::vector<double> ob_samples, ev_samples;
       for (int rep = 0; rep < kReps; ++rep) {
         sim::Simulator ob(*syn.design, sim::Simulator::Mode::Oblivious);
         auto t0 = std::chrono::steady_clock::now();
         rob = ob.run(stream, b.graph->inputs(), b.graph->outputs());
-        row.oblivious.seconds =
-            std::min(row.oblivious.seconds, seconds_since(t0));
+        ob_samples.push_back(seconds_since(t0));
         row.oblivious.steps = rob.activity.steps;
         row.oblivious.evals = ob.kernel_stats().evals;
 
         sim::Simulator ev(*syn.design);
         t0 = std::chrono::steady_clock::now();
         rev = ev.run(stream, b.graph->inputs(), b.graph->outputs());
-        row.event.seconds = std::min(row.event.seconds, seconds_since(t0));
+        ev_samples.push_back(seconds_since(t0));
         row.event.steps = rev.activity.steps;
         row.event.evals = ev.kernel_stats().evals;
       }
+      row.oblivious.timing = RunStats::from_samples(std::move(ob_samples));
+      row.event.timing = RunStats::from_samples(std::move(ev_samples));
 
       if (!identical(rob, rev)) {
         std::fprintf(stderr,
@@ -154,7 +166,8 @@ int main() {
   // with short passes a single preemption lands entirely on the sliced
   // reading and sinks the ratio, best-of-reps or not.
   constexpr std::size_t kSlicedComputations = 3000;
-  constexpr int kSerialReps = 2;  // a serial pass is ~25x longer, 2 suffice
+  constexpr int kSerialReps = 3;  // a serial pass is ~25x longer; 3 give a
+                                  // true median without doubling wall time
   std::vector<SlicedRow> srows;
   double total_sliced_s = 0, total_serial_s = 0;
 
@@ -175,22 +188,24 @@ int main() {
       row.bench = name;
       row.num_clocks = n;
 
-      // Best-of-reps on both legs, like the first leg: noise on this ratio
-      // only ever inflates a rep's wall time, so the min is the faithful
-      // reading. Each rep gets a fresh kernel — plane state persists across
-      // run_sliced() calls, so a reused Simulator would start warm.
+      // Percentiles over reps on both legs; the speedup ratio uses the
+      // medians, so a single preempted rep lands in the tail instead of
+      // skewing the headline. Each rep gets a fresh kernel — plane state
+      // persists across run_sliced() calls, so a reused Simulator would
+      // start warm.
       std::vector<sim::SimResult> sliced;
-      row.sliced_seconds = 1e30;
+      std::vector<double> sl_samples;
       for (int rep = 0; rep < kReps; ++rep) {
         sim::Simulator sl(*syn.design, sim::Simulator::Mode::BitSliced);
         auto t0 = std::chrono::steady_clock::now();
         auto res = sl.run_sliced(bundle, b.graph->inputs(), b.graph->outputs());
-        row.sliced_seconds = std::min(row.sliced_seconds, seconds_since(t0));
+        sl_samples.push_back(seconds_since(t0));
         if (rep == 0) sliced = std::move(res);
       }
+      row.sliced = RunStats::from_samples(std::move(sl_samples));
 
       std::vector<sim::SimResult> serial;
-      row.serial_seconds = 1e30;
+      std::vector<double> se_samples;
       for (int rep = 0; rep < kSerialReps; ++rep) {
         auto t0 = std::chrono::steady_clock::now();
         std::vector<sim::SimResult> res;
@@ -200,9 +215,10 @@ int main() {
           res.push_back(
               ev.run(bundle[s], b.graph->inputs(), b.graph->outputs()));
         }
-        row.serial_seconds = std::min(row.serial_seconds, seconds_since(t0));
+        se_samples.push_back(seconds_since(t0));
         if (rep == 0) serial = std::move(res);
       }
+      row.serial = RunStats::from_samples(std::move(se_samples));
 
       for (std::size_t s = 0; s < kStreams; ++s) {
         row.lane_steps += sliced[s].activity.steps;
@@ -214,8 +230,8 @@ int main() {
           ok = false;
         }
       }
-      total_sliced_s += row.sliced_seconds;
-      total_serial_s += row.serial_seconds;
+      total_sliced_s += row.sliced.pct50;
+      total_serial_s += row.serial.pct50;
       srows.push_back(row);
     }
   }
@@ -224,7 +240,7 @@ int main() {
   if (batch_speedup < 8.0) {
     std::fprintf(stderr,
                  "FATAL: bit-sliced batch speedup %.2fx is below the 8x "
-                 "floor (serial %.3fs / sliced %.3fs)\n",
+                 "floor (serial pct50 %.3fs / sliced pct50 %.3fs)\n",
                  batch_speedup, total_serial_s, total_sliced_s);
     ok = false;
   }
@@ -267,12 +283,18 @@ int main() {
       js << "    {\"bench\": \"" << r.bench
          << "\", \"num_clocks\": " << r.num_clocks
          << ", \"comb_components\": " << r.comb_components
-         << ",\n     \"oblivious\": {\"seconds\": " << r.oblivious.seconds
+         << ",\n     \"oblivious\": {\"seconds\": " << r.oblivious.timing.pct50
          << ", \"steps_per_sec\": " << r.oblivious.steps_per_sec()
-         << ", \"evals_per_step\": " << r.oblivious.evals_per_step() << "}"
-         << ",\n     \"event\": {\"seconds\": " << r.event.seconds
+         << ", \"evals_per_step\": " << r.oblivious.evals_per_step()
+         << ",\n       \"timing\": {";
+      emit_timing(js, r.oblivious.timing);
+      js << "}}"
+         << ",\n     \"event\": {\"seconds\": " << r.event.timing.pct50
          << ", \"steps_per_sec\": " << r.event.steps_per_sec()
-         << ", \"evals_per_step\": " << r.event.evals_per_step() << "}"
+         << ", \"evals_per_step\": " << r.event.evals_per_step()
+         << ",\n       \"timing\": {";
+      emit_timing(js, r.event.timing);
+      js << "}}"
          << ",\n     \"speedup\": "
          << r.event.steps_per_sec() / r.oblivious.steps_per_sec()
          << ", \"evals_ratio\": "
@@ -288,9 +310,13 @@ int main() {
       const auto& r = srows[i];
       js << "    {\"bench\": \"" << r.bench
          << "\", \"num_clocks\": " << r.num_clocks
-         << ", \"sliced_seconds\": " << r.sliced_seconds
-         << ", \"serial_seconds\": " << r.serial_seconds
-         << ",\n     \"sliced_lane_steps_per_sec\": " << r.sliced_throughput()
+         << ", \"sliced_seconds\": " << r.sliced.pct50
+         << ", \"serial_seconds\": " << r.serial.pct50
+         << ",\n     \"sliced_timing\": {";
+      emit_timing(js, r.sliced);
+      js << "}, \"serial_timing\": {";
+      emit_timing(js, r.serial);
+      js << "},\n     \"sliced_lane_steps_per_sec\": " << r.sliced_throughput()
          << ", \"serial_lane_steps_per_sec\": " << r.serial_throughput()
          << ", \"speedup\": " << r.speedup() << "}"
          << (i + 1 < srows.size() ? "," : "") << "\n";
@@ -298,7 +324,7 @@ int main() {
     js << "  ]},\n  \"identical_results\": " << (ok ? "true" : "false")
        << ",\n  \"guard\": \"event evals <= oblivious evals on every config; "
           "results bit-identical; sliced results bit-identical per stream; "
-          "batch speedup >= 8x\"\n}\n";
+          "batch speedup (pct50) >= 8x\"\n}\n";
   }
   std::printf("\nwrote BENCH_sim.json (%zu + %zu configs), guard %s\n",
               rows.size(), srows.size(), ok ? "OK" : "FAILED");

@@ -18,10 +18,11 @@ namespace mcrtl::core {
 
 namespace {
 
-// v2: the point record grew power_stddev/power_ci95 (25 payload tokens). A
-// v1 journal no longer matches the magic and is treated as absent — the
+// v3: the point record grew hotspot/hotspot_share/crest (28 payload
+// tokens); v2 had added power_stddev/power_ci95 (25). A journal from an
+// older version no longer matches the magic and is treated as absent — the
 // sweep starts fresh and overwrites it.
-constexpr const char* kMagic = "mcrtl-journal v2 fp=";
+constexpr const char* kMagic = "mcrtl-journal v3 fp=";
 
 std::uint64_t fnv1a64(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -114,6 +115,8 @@ std::string record_payload(std::size_t index, const ExplorationPoint& p) {
   os << ' ' << encode_str(p.stats.alu_summary) << ' ' << p.stats.num_alus
      << ' ' << p.stats.num_memory_cells << ' ' << p.stats.num_mux_inputs
      << ' ' << p.stats.num_muxes << ' ' << p.stats.num_clocks;
+  os << ' ' << encode_str(p.hotspot) << ' ' << encode_double(p.hotspot_share)
+     << ' ' << encode_double(p.crest);
   return os.str();
 }
 
@@ -140,8 +143,8 @@ bool parse_record(const std::string& line, std::size_t& index,
 
   const auto toks = split_tokens(payload);
   // index, label, 9 power (7 breakdown + stddev + ci95), 8 area,
-  // alu_summary, 5 stats ints = 25 tokens.
-  if (toks.size() != 25) return false;
+  // alu_summary, 5 stats ints, hotspot, hotspot_share, crest = 28 tokens.
+  if (toks.size() != 28) return false;
   char* end = nullptr;
   errno = 0;
   index = static_cast<std::size_t>(std::strtoull(toks[0].c_str(), &end, 10));
@@ -173,6 +176,9 @@ bool parse_record(const std::string& line, std::size_t& index,
     if (errno != 0 || end == t.c_str() || *end != '\0') return false;
     *ints[k] = static_cast<int>(v);
   }
+  if (!decode_str(toks[25], point.hotspot)) return false;
+  if (!decode_double(toks[26], point.hotspot_share)) return false;
+  if (!decode_double(toks[27], point.crest)) return false;
   return true;
 }
 

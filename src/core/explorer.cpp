@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
+#include "power/attribution.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
@@ -160,6 +161,27 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     ExplorationPoint p;
     p.options = opts;
     p.label = label;
+    // Hierarchical attribution rides along with every evaluation: the probe
+    // time-resolves the energy (for the crest factor and, when tracing, the
+    // per-domain counter tracks) and attribute() names the hotspot. The
+    // probe only observes — outputs and Activity are bit-identical with it
+    // attached (tests/test_attribution.cpp).
+    power::Attribution attribution(*syn.design, tech, cfg.power_params.vdd);
+    sim::PowerProbe probe(attribution.energy_model());
+    simulator.set_power_probe(&probe);
+    auto finish_attribution = [&](const sim::Activity& activity) {
+      const auto arep = attribution.attribute(activity);
+      if (!arep.rows.empty()) {
+        p.hotspot = arep.rows.front().component;
+        p.hotspot_share = arep.total_fj > 0.0
+                              ? arep.rows.front().energy_fj / arep.total_fj
+                              : 0.0;
+      }
+      p.crest = probe.crest();
+      if (obs::enabled()) {
+        obs::observe_many("power.step_fj", probe.step_energies());
+      }
+    };
     if (cfg.streams == 1) {
       const auto res = simulator.run(stream, graph.inputs(), graph.outputs());
       const auto rep = sim::check_outputs(graph, stream, res.outputs,
@@ -169,6 +191,7 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
                           << rep.detail);
       p.power = power::estimate_power(*syn.design, res.activity, tech,
                                       cfg.power_params);
+      finish_attribution(res.activity);
     } else {
       // One bit-sliced pass advances all streams; every lane must still be
       // functionally equivalent to the golden model on its own.
@@ -205,6 +228,13 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
       p.power.total = st.mean;
       p.power_stddev = st.stddev;
       p.power_ci95 = st.ci95;
+      // Aggregate attribution across streams: integer Activity records add
+      // exactly, and the probe already accumulated the all-lane waveform.
+      std::vector<sim::Activity> acts(results.size());
+      for (std::size_t s = 0; s < results.size(); ++s) {
+        acts[s] = results[s].activity;
+      }
+      finish_attribution(sim::sum_activities(acts));
     }
     p.area = power::estimate_area(*syn.design, tech);
     p.stats = syn.design->stats;

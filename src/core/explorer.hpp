@@ -33,6 +33,16 @@ struct ExplorationPoint {
   /// a single stream carries no spread information.
   double power_stddev = 0.0;
   double power_ci95 = 0.0;
+  /// Power-attribution profile of the point's run (power::Attribution):
+  /// the hottest component (most attributed fJ; deterministic energy-desc /
+  /// name-asc tie-break), its share of the run's total attributed energy,
+  /// and the crest factor (peak/mean) of the per-master-cycle energy
+  /// waveform. With streams > 1 these describe the aggregate across all
+  /// streams (integer toggle counts add, so the aggregate is
+  /// stream-permutation invariant).
+  std::string hotspot;
+  double hotspot_share = 0.0;
+  double crest = 0.0;
   bool pareto = false;  ///< on the power/area frontier
 };
 

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -39,6 +40,27 @@ std::string lane_name(int lane) {
 
 }  // namespace
 
+int HistogramStats::bucket_of(double value) {
+  if (!(value >= 1.0)) return 0;  // < 1 and NaN both land in bucket 0
+  const int b = std::ilogb(value) + 1;
+  return b > 63 ? 63 : b;
+}
+
+double HistogramStats::pct(double q) const {
+  if (count == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < 64; ++b) {
+    cum += buckets[static_cast<std::size_t>(b)];
+    if (cum >= rank) {
+      const double edge = std::ldexp(1.0, b);  // upper edge: bucket 0 -> 1
+      return std::min(std::max(edge, min), max);
+    }
+  }
+  return max;
+}
+
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
@@ -69,6 +91,45 @@ void Registry::set_gauge(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+namespace {
+void fold_sample(HistogramStats& h, double value) {
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  }
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[static_cast<std::size_t>(HistogramStats::bucket_of(value))];
+}
+}  // namespace
+
+void Registry::observe(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  auto& h = histograms_[name];
+  if (h.name.empty()) h.name = name;
+  fold_sample(h, value);
+}
+
+void Registry::observe_many(const std::string& name,
+                            const std::vector<double>& values) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  auto& h = histograms_[name];
+  if (h.name.empty()) h.name = name;
+  for (double v : values) fold_sample(h, v);
+}
+
+void Registry::counter_track(const std::string& name,
+                             std::vector<TrackSample> samples) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  auto& track = tracks_[name];
+  track.insert(track.end(), samples.begin(), samples.end());
+}
+
 void Registry::record_span(const SpanRecord& rec) {
   std::lock_guard<std::mutex> lk(m_);
   spans_.push_back(rec);
@@ -82,6 +143,22 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
   std::lock_guard<std::mutex> lk(m_);
   return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<HistogramStats> Registry::histograms() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<HistogramStats> out;
+  out.reserve(histograms_.size());
+  for (const auto& [_, h] : histograms_) out.push_back(h);
+  return out;
+}
+
+std::vector<CounterTrack> Registry::counter_tracks() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<CounterTrack> out;
+  out.reserve(tracks_.size());
+  for (const auto& [name, samples] : tracks_) out.push_back({name, samples});
+  return out;
 }
 
 std::vector<SpanRecord> Registry::spans() const {
@@ -136,6 +213,8 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lk(m_);
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
+  tracks_.clear();
   spans_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
@@ -164,6 +243,19 @@ std::string Registry::summary() const {
     }
     out += "\n" + t.render();
   }
+  const auto hs = histograms();
+  if (!hs.empty()) {
+    TextTable t({"histogram", "count", "mean", "pct50", "pct90", "pct99",
+                 "max"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right, Align::Right});
+    for (const auto& h : hs) {
+      t.add_row({h.name, std::to_string(h.count), format_fixed(h.mean(), 3),
+                 format_fixed(h.pct(0.50), 3), format_fixed(h.pct(0.90), 3),
+                 format_fixed(h.pct(0.99), 3), format_fixed(h.max, 3)});
+    }
+    out += "\n" + t.render();
+  }
   const auto cs = counters();
   const auto gs = gauges();
   if (!cs.empty() || !gs.empty()) {
@@ -187,21 +279,43 @@ std::string Registry::chrome_trace_json() const {
   int max_lane = 0;
   for (const auto& r : recs) max_lane = std::max(max_lane, r.lane);
 
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  std::vector<std::string> events;
   for (int lane = 0; lane <= max_lane; ++lane) {
-    out += str_format(
+    events.push_back(str_format(
         "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \"thread_name\", "
-        "\"args\": {\"name\": \"%s\"}},\n",
-        lane, lane_name(lane).c_str());
+        "\"args\": {\"name\": \"%s\"}}",
+        lane, lane_name(lane).c_str()));
   }
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    const auto& r = recs[i];
-    out += str_format(
+  for (const auto& r : recs) {
+    events.push_back(str_format(
         "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
-        "\"dur\": %.3f, \"cat\": \"mcrtl\", \"name\": \"%s\"}%s\n",
+        "\"dur\": %.3f, \"cat\": \"mcrtl\", \"name\": \"%s\"}",
         r.lane, static_cast<double>(r.start_ns) / 1e3,
-        static_cast<double>(r.dur_ns) / 1e3, json_escape(r.name).c_str(),
-        i + 1 < recs.size() ? "," : "");
+        static_cast<double>(r.dur_ns) / 1e3, json_escape(r.name).c_str()));
+  }
+  // Counter tracks live under their own process: their timestamps are
+  // simulated step indices, not host time, and a separate pid keeps the two
+  // axes from interleaving in the viewer.
+  const auto tracks = counter_tracks();
+  if (!tracks.empty()) {
+    events.push_back(
+        "{\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"simulated time\"}}");
+    for (const auto& track : tracks) {
+      for (const auto& [ts, value] : track.samples) {
+        events.push_back(str_format(
+            "{\"ph\": \"C\", \"pid\": 2, \"tid\": 0, \"ts\": %.3f, "
+            "\"cat\": \"mcrtl\", \"name\": \"%s\", \"args\": {\"value\": "
+            "%.6f}}",
+            ts, json_escape(track.name).c_str(), value));
+      }
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += events[i];
+    out += i + 1 < events.size() ? ",\n" : "\n";
   }
   out += "]}\n";
   return out;
@@ -223,6 +337,18 @@ std::string Registry::metrics_json() const {
                       json_escape(gs[i].first).c_str(), gs[i].second);
   }
   out += gs.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  const auto hs = histograms();
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    const auto& h = hs[i];
+    out += str_format(
+        "%s\n    \"%s\": {\"count\": %llu, \"mean\": %.6f, \"min\": %.6f, "
+        "\"pct50\": %.6f, \"pct90\": %.6f, \"pct99\": %.6f, \"max\": %.6f}",
+        i ? "," : "", json_escape(h.name).c_str(),
+        static_cast<unsigned long long>(h.count), h.mean(), h.min,
+        h.pct(0.50), h.pct(0.90), h.pct(0.99), h.max);
+  }
+  out += hs.empty() ? "},\n" : "\n  },\n";
   out += "  \"spans\": {";
   const auto stats = span_stats();
   for (std::size_t i = 0; i < stats.size(); ++i) {

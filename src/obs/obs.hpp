@@ -14,6 +14,11 @@
 //    toggles, the settle-kernel's `sim.kernel.events_popped` /
 //    `sim.kernel.evals_skipped` work-saved pair, ...) and point-in-time
 //    `set_gauge()` values (points/sec, lane utilization).
+//  * histograms/tracks — log2-bucket distribution sketches (`observe()`,
+//    pct50/90/99 for per-step energy and per-point latency tails) and
+//    counter tracks (`Registry::counter_track()`, time-stamped value series
+//    such as the per-clock-domain power waveforms, rendered as Chrome-trace
+//    counter lanes under a separate "simulated time" process).
 //  * sinks — a human summary table (`Registry::summary()`, rendered with
 //    util::table) and Chrome trace-event JSON
 //    (`Registry::chrome_trace_json()`, loadable in chrome://tracing and
@@ -30,6 +35,7 @@
 // bench_explorer_report on every run.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -37,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mcrtl::obs {
@@ -73,6 +80,40 @@ struct LaneStats {
   double busy_ms = 0;
 };
 
+/// Fixed-footprint distribution sketch: 64 log2-width buckets plus exact
+/// count/sum/min/max. Bucket 0 holds values < 1; bucket b >= 1 holds
+/// [2^(b-1), 2^b). Percentiles are nearest-rank over the buckets, reported
+/// as the containing bucket's upper edge clamped to [min, max] — a <= 2x
+/// overestimate by construction, which is the right fidelity for "where is
+/// the tail?" questions (per-step energy, per-point latency) at O(1) space
+/// per series.
+struct HistogramStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::array<std::uint64_t, 64> buckets{};
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  /// Nearest-rank percentile, q in (0, 1]; 0 when empty.
+  double pct(double q) const;
+  /// Bucket index of a value (see class comment).
+  static int bucket_of(double value);
+};
+
+/// One sample of a counter track: (timestamp in track units, value).
+using TrackSample = std::pair<double, double>;
+
+/// A named counter series rendered as a Chrome-trace counter ("ph":"C")
+/// track — e.g. the per-clock-domain power waveforms, timestamped by
+/// simulated step rather than host time (they live under their own
+/// "simulated time" process in the trace, pid 2).
+struct CounterTrack {
+  std::string name;
+  std::vector<TrackSample> samples;
+};
+
 /// Process-wide metric store. All members are thread-safe.
 class Registry {
  public:
@@ -85,6 +126,15 @@ class Registry {
   /// Set a point-in-time value. No-op while disabled.
   void set_gauge(const std::string& name, double value);
 
+  /// Fold one sample into the named histogram. No-op while disabled (no
+  /// histogram is created, so a disabled run leaves the registry empty).
+  void observe(const std::string& name, double value);
+  /// Batch form of observe(): one lock, many samples.
+  void observe_many(const std::string& name, const std::vector<double>& values);
+
+  /// Append samples to the named counter track. No-op while disabled.
+  void counter_track(const std::string& name, std::vector<TrackSample> samples);
+
   /// Record a completed span (called by ~Span; callable directly for
   /// externally timed intervals).
   void record_span(const SpanRecord& rec);
@@ -95,6 +145,8 @@ class Registry {
   // ---- snapshots ----------------------------------------------------------
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<HistogramStats> histograms() const;
+  std::vector<CounterTrack> counter_tracks() const;
   std::vector<SpanRecord> spans() const;
   std::vector<SpanStats> span_stats() const;
   std::vector<LaneStats> lane_stats() const;
@@ -120,6 +172,8 @@ class Registry {
   mutable std::mutex m_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramStats> histograms_;
+  std::map<std::string, std::vector<TrackSample>> tracks_;
   std::vector<SpanRecord> spans_;
   std::chrono::steady_clock::time_point epoch_;
 };
@@ -132,6 +186,15 @@ inline void count(const std::string& name, std::uint64_t n = 1) {
 inline void set_gauge(const std::string& name, double value) {
   if (!enabled()) return;
   Registry::instance().set_gauge(name, value);
+}
+inline void observe(const std::string& name, double value) {
+  if (!enabled()) return;
+  Registry::instance().observe(name, value);
+}
+inline void observe_many(const std::string& name,
+                         const std::vector<double>& values) {
+  if (!enabled()) return;
+  Registry::instance().observe_many(name, values);
 }
 
 /// RAII scoped timer. `name` must outlive the program (use a literal).

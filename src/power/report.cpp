@@ -45,6 +45,7 @@ std::string to_csv(const std::vector<ExperimentRecord>& records) {
   os << "experiment,design,benchmark,width,computations,streams,"
         "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
         "power_control_mw,power_io_mw,power_stddev_mw,power_ci95_mw,"
+        "hotspot,hotspot_share,crest,"
         "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
         "area_controller_l2,"
         "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary\n";
@@ -59,6 +60,9 @@ std::string to_csv(const std::vector<ExperimentRecord>& records) {
        << str_format("%.6f", r.power.io) << ','
        << str_format("%.6f", r.power_stddev) << ','
        << str_format("%.6f", r.power_ci95) << ','
+       << csv_escape(r.hotspot) << ','
+       << str_format("%.6f", r.hotspot_share) << ','
+       << str_format("%.6f", r.crest) << ','
        << str_format("%.0f", r.area.total) << ','
        << str_format("%.0f", r.area.alus) << ','
        << str_format("%.0f", r.area.storage) << ','
@@ -88,6 +92,10 @@ std::string to_json(const std::vector<ExperimentRecord>& records) {
               r.power.total, r.power.combinational, r.power.storage,
               r.power.clock_tree, r.power.control, r.power.io, r.power_stddev,
               r.power_ci95)
+       << "},\n   \"attribution\": {\"hotspot\": \"" << json_escape(r.hotspot)
+       << "\", "
+       << str_format("\"hotspot_share\": %.6f, \"crest\": %.6f",
+                     r.hotspot_share, r.crest)
        << "},\n   \"area_l2\": {"
        << str_format(
               "\"total\": %.0f, \"alus\": %.0f, \"storage\": %.0f, "

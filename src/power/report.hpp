@@ -28,6 +28,12 @@ struct ExperimentRecord {
   /// and the 95% confidence half-width.
   double power_stddev = 0.0;
   double power_ci95 = 0.0;
+  /// Power-attribution profile (power::Attribution): hottest component,
+  /// its share of total attributed energy, and the per-cycle energy crest
+  /// factor. Empty/0 for rows measured without attribution.
+  std::string hotspot;
+  double hotspot_share = 0.0;
+  double crest = 0.0;
   AreaBreakdown area;
   rtl::DesignStats stats;
 };

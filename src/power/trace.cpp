@@ -38,15 +38,19 @@ void PowerTrace::record(std::uint64_t step,
 }
 
 double PowerTrace::mean_fj() const {
-  if (energy_.empty()) return 0.0;
+  // energy_[0] is the priming entry (see record()): the first step's real
+  // switching happened, but with no prior snapshot it was recorded as 0.0.
+  // Including that synthetic zero deflated the mean (and thus inflated the
+  // crest factor) by a factor of ~N/(N-1); statistics cover entries 1.. only.
+  if (energy_.size() <= 1) return 0.0;
   double sum = 0.0;
-  for (double e : energy_) sum += e;
-  return sum / static_cast<double>(energy_.size());
+  for (std::size_t i = 1; i < energy_.size(); ++i) sum += energy_[i];
+  return sum / static_cast<double>(energy_.size() - 1);
 }
 
 double PowerTrace::peak_fj() const {
   double best = 0.0;
-  for (double e : energy_) best = std::max(best, e);
+  for (std::size_t i = 1; i < energy_.size(); ++i) best = std::max(best, energy_[i]);
   return best;
 }
 
@@ -59,7 +63,7 @@ std::string PowerTrace::render_period_profile() const {
   const int P = design_->clocks.period();
   std::vector<double> per_step(static_cast<std::size_t>(P), 0.0);
   std::vector<int> counts(static_cast<std::size_t>(P), 0);
-  for (std::size_t i = 0; i < energy_.size(); ++i) {
+  for (std::size_t i = 1; i < energy_.size(); ++i) {  // skip priming entry
     const auto slot = i % static_cast<std::size_t>(P);
     per_step[slot] += energy_[i];
     ++counts[slot];

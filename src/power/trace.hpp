@@ -31,10 +31,16 @@ class PowerTrace {
   /// Observer hook; feed to Simulator::set_observer.
   void record(std::uint64_t step, const std::vector<std::uint64_t>& net_values);
 
-  /// Energy per recorded step (femtojoules).
+  /// Energy per recorded step (femtojoules). Entry 0 is the priming entry:
+  /// the first observed step has no prior snapshot to diff against, so its
+  /// energy is recorded as 0.0 regardless of what actually switched. It is
+  /// kept (one entry per observed step), but excluded from every statistic
+  /// below — a synthetic zero in the window deflates the mean and inflates
+  /// the crest factor.
   const std::vector<double>& energy_fj() const { return energy_; }
 
-  /// Mean/peak energy per step over the recorded window (fJ).
+  /// Mean/peak energy per step over the recorded window (fJ), excluding
+  /// the priming entry.
   double mean_fj() const;
   double peak_fj() const;
   /// Peak-to-mean ratio: 1.0 = perfectly flat profile.

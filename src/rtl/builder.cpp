@@ -39,6 +39,8 @@ struct Lowering {
   std::vector<CompId> fu_comp;
   // Mux component (if any) per FU port: fu_port_mux[fu][port].
   std::vector<std::array<CompId, 2>> fu_port_mux;
+  // Operand-isolation gate (if any) per FU port, for the attribution map.
+  std::vector<std::array<CompId, 2>> fu_port_iso;
   // Mux component (if any) per storage unit input.
   std::vector<CompId> storage_mux;
 
@@ -125,6 +127,7 @@ void create_storage(Lowering& L) {
 
 void create_fus_and_port_muxes(Lowering& L) {
   L.fu_port_mux.assign(L.b.func_units().size(), {CompId(), CompId()});
+  L.fu_port_iso.assign(L.b.func_units().size(), {CompId(), CompId()});
   for (const auto& fu : L.b.func_units()) {
     const CompId c = L.nl.add_component(CompKind::Alu, fu.name, L.width());
     Component& comp = L.nl.comp_mut(c);
@@ -156,6 +159,7 @@ void create_fus_and_port_muxes(Lowering& L) {
       L.nl.comp_mut(gate).partition = fu.partition;
       L.nl.connect_input(gate, data);
       L.nl.set_select(gate, L.signal_net(iso_sig));
+      L.fu_port_iso[fu.index][port] = gate;
       return L.nl.comp(gate).output;
     };
     for (unsigned port = 0; port < 2; ++port) {
@@ -322,7 +326,41 @@ Design build_design(const alloc::Binding& binding, const BuildOptions& opts) {
 
   L.nl.validate();
 
+  // Attribution map: the DFG-level origin of every component, consumed by
+  // the hierarchical power profiler. ALUs (and the muxes/iso gates feeding
+  // them) carry the function-set label; storage (and its input mux) carries
+  // the names of the values it holds.
+  std::vector<std::string> comp_op(L.nl.num_components());
+  for (const auto& fu : binding.func_units()) {
+    const std::string label = fu.func_string();
+    comp_op[L.fu_comp[fu.index].index()] = label;
+    for (unsigned port = 0; port < 2; ++port) {
+      if (L.fu_port_mux[fu.index][port].valid()) {
+        comp_op[L.fu_port_mux[fu.index][port].index()] = label;
+      }
+      if (L.fu_port_iso[fu.index][port].valid()) {
+        comp_op[L.fu_port_iso[fu.index][port].index()] = label;
+      }
+    }
+  }
+  for (const auto& su : binding.storage()) {
+    std::string label;
+    for (std::size_t i = 0; i < su.values.size(); ++i) {
+      if (i == 3) {  // registers can merge many values; keep the label short
+        label += str_format("+%zu", su.values.size() - i);
+        break;
+      }
+      if (i) label += ",";
+      label += g.value(su.values[i]).name;
+    }
+    comp_op[L.storage_comp[su.index].index()] = label;
+    if (L.storage_mux[su.index].valid()) {
+      comp_op[L.storage_mux[su.index].index()] = label;
+    }
+  }
+
   Design d(opts.style_name, std::move(L.nl), L.clocks, std::move(L.control));
+  d.comp_op = std::move(comp_op);
   d.input_ports = std::move(L.input_ports);
   d.output_storage = std::move(output_storage);
   d.output_ports = std::move(output_ports);

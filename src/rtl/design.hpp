@@ -42,6 +42,15 @@ struct Design {
   /// Functional unit index -> component.
   std::vector<CompId> fu_comp;
 
+  /// Synthesis-time attribution map (indexed by CompId): the DFG-level
+  /// origin of each component, for the hierarchical power profiler
+  /// (power::Attribution). ALUs carry their function-set label (e.g.
+  /// "(+*)"); the port muxes and isolation gates serving an ALU inherit its
+  /// label; storage elements and their input muxes carry the names of the
+  /// DFG values they hold. Components with no DFG-level origin (controller
+  /// lines, IO ports, constants) keep an empty string.
+  std::vector<std::string> comp_op;
+
   /// The schedule length T (outputs are valid at the end of step T of each
   /// period; the period itself is clocks.period()).
   int schedule_steps = 0;

@@ -144,7 +144,11 @@ void Simulator::write_net(NetId net, std::uint64_t value, Activity& act,
                           bool count) {
   const std::uint64_t old = net_value_[net.index()];
   if (old == value) return;
-  if (count) act.net_toggles[net.index()] += hamming(old, value);
+  if (count) {
+    const unsigned flips = hamming(old, value);
+    act.net_toggles[net.index()] += flips;
+    if (probe_) probe_->add_net(net.index(), flips);
+  }
   net_value_[net.index()] = value;
   if (mode_ == Mode::EventDriven) mark_fanout_dirty(net);
 }
@@ -237,6 +241,7 @@ SimResult Simulator::run(const InputStream& stream,
   act.storage_write_toggles.assign(nl.num_components(), 0);
   act.phase_pulses.assign(static_cast<std::size_t>(n) + 1, 0);
   if (heatmap_) heatmap_->resize(n, P);
+  if (probe_) probe_->reset();  // one probe record per run, like the heatmap
   const std::uint64_t evals_before = kernel_stats_.evals;
   const std::uint64_t oblivious_before = kernel_stats_.oblivious_evals;
 
@@ -324,11 +329,15 @@ SimResult Simulator::run(const InputStream& stream,
       // 4. the phase edge ending step t.
       const int phase = phase_by_step_[static_cast<std::size_t>(t)];
       ++act.phase_pulses[static_cast<std::size_t>(phase)];
+      if (probe_) probe_->add_phase_pulse(phase);
       // Capture simultaneously: read all D inputs before committing.
       captures_.clear();
       if (static_edges_) {
         const auto& clocked = edge_clock_events_[static_cast<std::size_t>(t)];
-        for (CompId cid : clocked) ++act.storage_clock_events[cid.index()];
+        for (CompId cid : clocked) {
+          ++act.storage_clock_events[cid.index()];
+          if (probe_) probe_->add_storage_clock(cid.index());
+        }
         if (heatmap_) {
           heatmap_->clock_events[heatmap_->at(phase, t)] += clocked.size();
         }
@@ -342,6 +351,7 @@ SimResult Simulator::run(const InputStream& stream,
           const bool load = !c.load.valid() || net_value_[c.load.index()] != 0;
           if (load || !c.clock_gated) {
             ++act.storage_clock_events[cid.index()];
+            if (probe_) probe_->add_storage_clock(cid.index());
             if (heatmap_) ++heatmap_->clock_events[heatmap_->at(phase, t)];
           }
           if (load) captures_.emplace_back(cid, net_value_[c.inputs[0].index()]);
@@ -361,6 +371,7 @@ SimResult Simulator::run(const InputStream& stream,
       // 5. combinational wave from the new storage outputs.
       settle(act, true);
       ++act.steps;
+      if (probe_) probe_->end_step(t);
       if (observer_) observer_(act.steps, net_value_);
       // Sample primary outputs at the end of schedule step T.
       if (t == T) {

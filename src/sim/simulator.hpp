@@ -62,6 +62,7 @@
 
 #include "rtl/design.hpp"
 #include "sim/activity.hpp"
+#include "sim/power_probe.hpp"
 
 namespace mcrtl::sim {
 
@@ -142,6 +143,13 @@ class Simulator {
   void set_stream_heatmaps(std::vector<PhaseHeatmap>* hms) {
     stream_heatmaps_ = hms;
   }
+
+  /// Optional per-domain energy telemetry (the power-attribution waveform):
+  /// every counted transition is folded into `probe` with the weights of
+  /// its EnergyModel — per step and per clock domain. In BitSliced mode the
+  /// probe receives the aggregate across all lanes. Pass nullptr to detach;
+  /// no collection cost when detached, and attaching never changes results.
+  void set_power_probe(PowerProbe* probe) { probe_ = probe; }
 
   /// Cooperative deadline: run() checks the clock once per computation
   /// (i.e. once per master period) and throws mcrtl::TimeoutError when the
@@ -226,6 +234,7 @@ class Simulator {
 
   KernelStats kernel_stats_;
   StepObserver observer_;
+  PowerProbe* probe_ = nullptr;
   PhaseHeatmap* heatmap_ = nullptr;
   std::vector<PhaseHeatmap>* stream_heatmaps_ = nullptr;
   bool has_deadline_ = false;

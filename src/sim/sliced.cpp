@@ -43,6 +43,19 @@ namespace {
 // Vertical-counter depth: per-net per-stream toggle totals up to 2^48.
 // A run would need ~2^42 master cycles to overflow a 64-bit-wide net.
 constexpr unsigned kCounterPlanes = 48;
+
+// Total toggle count across all lanes, read off the bit-sliced per-lane
+// sums a write just compressed: plane j holds bit j of every lane's count,
+// so the aggregate is sum_j popcount(sums[j]) << j. This is what the
+// attached PowerProbe receives in sliced mode — the aggregate waveform is
+// the exact (integer-toggle) sum of the per-stream waveforms.
+inline std::uint64_t lanes_total(const std::uint64_t* sums, unsigned k) {
+  std::uint64_t total = 0;
+  for (unsigned j = 0; j < k; ++j) {
+    total += static_cast<std::uint64_t>(popcount64(sums[j])) << j;
+  }
+  return total;
+}
 }  // namespace
 
 /// The per-run engine. Constructed by Simulator::run_sliced(); reads the
@@ -148,6 +161,7 @@ class SlicedKernel {
       std::uint64_t sums[7];
       const unsigned k = slice_popcount_planes(diff, w, sums);
       bump(net_counters_.data() + net.index() * kCounterPlanes, sums, k);
+      if (sim_.probe_) sim_.probe_->add_net(net.index(), lanes_total(sums, k));
     }
     mark_fanout_dirty(net);
   }
@@ -501,6 +515,7 @@ std::vector<SimResult> SlicedKernel::run(
   std::vector<std::uint64_t> phase_pulses(
       static_cast<std::size_t>(nphases) + 1, 0);
   std::uint64_t steps = 0;
+  if (sim_.probe_) sim_.probe_->reset();  // one probe record per batch
 
   // ---- preamble (uncounted), mirroring the scalar run() exactly ----------
   {
@@ -551,11 +566,16 @@ std::vector<SimResult> SlicedKernel::run(
 
       const int phase = sim_.phase_by_step_[static_cast<std::size_t>(t)];
       ++phase_pulses[static_cast<std::size_t>(phase)];
+      if (sim_.probe_) sim_.probe_->add_phase_pulse(phase, n_);
       const std::size_t cell = static_cast<std::size_t>(phase - 1) * P +
                                static_cast<std::size_t>(t - 1);
       const auto& clocked =
           sim_.edge_clock_events_[static_cast<std::size_t>(t)];
-      for (CompId cid : clocked) ++clock_events_[cid.index()];
+      for (CompId cid : clocked) {
+        ++clock_events_[cid.index()];
+        // Clock delivery is controller-driven and identical in every lane.
+        if (sim_.probe_) sim_.probe_->add_storage_clock(cid.index(), n_);
+      }
       if (sim_.stream_heatmaps_) heat_clock_[cell] += clocked.size();
 
       // Captures commit simultaneously: when an edge chains registers,
@@ -589,6 +609,9 @@ std::vector<SimResult> SlicedKernel::run(
         bump(storage_counters_.data() + cid.index() * kCounterPlanes, sums, k);
         bump(net_counters_.data() + c.output.index() * kCounterPlanes, sums,
              k);
+        if (sim_.probe_) {
+          sim_.probe_->add_net(c.output.index(), lanes_total(sums, k));
+        }
         if (sim_.stream_heatmaps_) {
           bump(heat_counters_.data() + cell * kCounterPlanes, sums, k);
         }
@@ -597,6 +620,7 @@ std::vector<SimResult> SlicedKernel::run(
       }
       settle(true);
       ++steps;
+      if (sim_.probe_) sim_.probe_->end_step(t);
       if (t == T) {
         std::uint64_t lanes[64];
         for (std::size_t s = 0; s < n_; ++s) {

@@ -1,0 +1,58 @@
+// Order statistics of repeated wall-clock measurements.
+//
+// The benches used to report best-of-N, which hides variance entirely and
+// drifts optimistic as N grows. The replacement ships the whole shape of
+// the sample: median (the headline number and the one perf floors check —
+// robust to one-sided scheduler noise, unlike the min), tail percentiles
+// and the sample stddev. Percentiles are nearest-rank on the sorted
+// samples — exact for the small rep counts benches use, no interpolation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mcrtl {
+
+struct RunStats {
+  std::size_t n = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1); 0 when n < 2
+  double pct50 = 0;
+  double pct90 = 0;
+  double pct99 = 0;
+
+  /// Nearest-rank percentile of the (sorted) sample, q in (0, 1].
+  static double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[(rank == 0 ? 1 : rank) - 1];
+  }
+
+  static RunStats from_samples(std::vector<double> xs) {
+    RunStats s;
+    s.n = xs.size();
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.min = xs.front();
+    s.max = xs.back();
+    double sum = 0;
+    for (double x : xs) sum += x;
+    s.mean = sum / static_cast<double>(s.n);
+    if (s.n > 1) {
+      double sq = 0;
+      for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+      s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    }
+    s.pct50 = percentile(xs, 0.50);
+    s.pct90 = percentile(xs, 0.90);
+    s.pct99 = percentile(xs, 0.99);
+    return s;
+  }
+};
+
+}  // namespace mcrtl

@@ -57,6 +57,11 @@ std::string report_bytes(const core::ExplorationResult& r) {
     rec.power = p.power;
     rec.power_stddev = p.power_stddev;
     rec.power_ci95 = p.power_ci95;
+    // Journal v3 payload fields: byte-equality below asserts that replayed
+    // points restore attribution exactly as freshly evaluated ones.
+    rec.hotspot = p.hotspot;
+    rec.hotspot_share = p.hotspot_share;
+    rec.crest = p.crest;
     rec.area = p.area;
     rec.stats = p.stats;
     recs.push_back(std::move(rec));

@@ -96,6 +96,8 @@ TEST_F(ObsTest, DisabledPipelineLeavesRegistryEmpty) {
   EXPECT_EQ(obs::Registry::instance().num_spans(), 0u);
   EXPECT_TRUE(obs::Registry::instance().counters().empty());
   EXPECT_TRUE(obs::Registry::instance().gauges().empty());
+  EXPECT_TRUE(obs::Registry::instance().histograms().empty());
+  EXPECT_TRUE(obs::Registry::instance().counter_tracks().empty());
   EXPECT_EQ(obs::Registry::instance().summary(), "");
 }
 
@@ -257,4 +259,75 @@ TEST_F(ObsTest, HeatmapShowsOneActiveDpmPerStep) {
   const auto rendered = sim::render_heatmap(hm);
   EXPECT_NE(rendered.find("phi1"), std::string::npos);
   EXPECT_NE(rendered.find("phi3"), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndPercentiles) {
+  // bucket_of: log2 buckets, b=0 holds everything below 1 (and NaN).
+  EXPECT_EQ(obs::HistogramStats::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(0.5), 0);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(1.0), 1);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(1.9), 1);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(2.0), 2);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(1024.0), 11);
+  EXPECT_EQ(obs::HistogramStats::bucket_of(1e300), 63);  // clamped
+
+  obs::set_enabled(true);
+  // 90 small values and 10 large ones: pct50 lands in the small bucket,
+  // pct99 in the large one.
+  for (int i = 0; i < 90; ++i) obs::observe("lat", 3.0);
+  for (int i = 0; i < 10; ++i) obs::observe("lat", 1000.0);
+  const auto hists = obs::Registry::instance().histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const auto& h = hists[0];
+  EXPECT_EQ(h.name, "lat");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.min, 3.0);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (90 * 3.0 + 10 * 1000.0) / 100.0);
+  // Percentiles are bucket upper edges clamped to [min, max]: <= 2x over.
+  EXPECT_GE(h.pct(0.50), 3.0);
+  EXPECT_LE(h.pct(0.50), 2 * 3.0);
+  EXPECT_GE(h.pct(0.99), 1000.0 / 2);
+  EXPECT_LE(h.pct(0.99), 1000.0);
+  EXPECT_LE(h.pct(0.50), h.pct(0.90));
+  EXPECT_LE(h.pct(0.90), h.pct(0.99));
+
+  // The summary table and metrics JSON both carry the histogram.
+  EXPECT_NE(obs::Registry::instance().summary().find("lat"),
+            std::string::npos);
+  const auto root = jsonlite::parse(obs::Registry::instance().metrics_json());
+  EXPECT_EQ(root.at("histograms").at("lat").at("count").number, 100);
+}
+
+TEST_F(ObsTest, ObserveManyMatchesRepeatedObserve) {
+  obs::set_enabled(true);
+  obs::observe_many("a", {1.0, 5.0, 9.0, 700.0});
+  obs::observe("b", 1.0);
+  obs::observe("b", 5.0);
+  obs::observe("b", 9.0);
+  obs::observe("b", 700.0);
+  const auto hists = obs::Registry::instance().histograms();
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists[0].count, hists[1].count);
+  EXPECT_DOUBLE_EQ(hists[0].sum, hists[1].sum);
+  EXPECT_EQ(hists[0].buckets, hists[1].buckets);
+}
+
+TEST_F(ObsTest, CounterTracksLandInChromeTrace) {
+  obs::set_enabled(true);
+  obs::Registry::instance().counter_track("power.clk1",
+                                          {{0.0, 10.5}, {1.0, 0.0}});
+  const auto tracks = obs::Registry::instance().counter_tracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].name, "power.clk1");
+  ASSERT_EQ(tracks[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(tracks[0].samples[0].second, 10.5);
+
+  // Chrome trace: counter events ride on the separate "simulated time"
+  // process as ph:"C" events, and the whole file stays valid JSON.
+  const auto trace = obs::Registry::instance().chrome_trace_json();
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace.find("simulated time"), std::string::npos);
+  EXPECT_NE(trace.find("power.clk1"), std::string::npos);
+  EXPECT_NO_THROW(jsonlite::parse(trace));
 }

@@ -24,6 +24,9 @@ power::ExperimentRecord sample_record() {
   r.streams = 16;
   r.power_stddev = 0.25;
   r.power_ci95 = 0.1225;
+  r.hotspot = "fu_mul0";
+  r.hotspot_share = 0.3125;
+  r.crest = 2.5;
   r.power.total = 12.5;
   r.power.combinational = 6.25;
   r.power.storage = 3.125;
@@ -55,6 +58,7 @@ TEST(Report, CsvHeaderHasStableColumnOrder) {
             "experiment,design,benchmark,width,computations,streams,"
             "power_total_mw,power_comb_mw,power_storage_mw,power_clock_mw,"
             "power_control_mw,power_io_mw,power_stddev_mw,power_ci95_mw,"
+            "hotspot,hotspot_share,crest,"
             "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
             "area_controller_l2,"
             "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary");
@@ -76,7 +80,7 @@ TEST(Report, CsvRowMatchesRecordFields) {
   std::istringstream rs(row);
   std::string cell;
   while (std::getline(rs, cell, ',')) cells.push_back(cell);
-  ASSERT_EQ(cells.size(), 24u);
+  ASSERT_EQ(cells.size(), 27u);
   EXPECT_EQ(cells[0], "table1_facet");
   EXPECT_EQ(cells[1], "3 Clocks");
   EXPECT_EQ(cells[2], "facet");
@@ -86,10 +90,13 @@ TEST(Report, CsvRowMatchesRecordFields) {
   EXPECT_EQ(cells[6], "12.500000");   // power_total_mw
   EXPECT_EQ(cells[12], "0.250000");   // power_stddev_mw
   EXPECT_EQ(cells[13], "0.122500");   // power_ci95_mw
-  EXPECT_EQ(cells[14], "2000000");    // area_total_l2
-  EXPECT_EQ(cells[19], "3");          // num_alus
-  EXPECT_EQ(cells[20], "40");         // mem_cells
-  EXPECT_EQ(cells[23], "2add+1mul");
+  EXPECT_EQ(cells[14], "fu_mul0");    // hotspot
+  EXPECT_EQ(cells[15], "0.312500");   // hotspot_share
+  EXPECT_EQ(cells[16], "2.500000");   // crest
+  EXPECT_EQ(cells[17], "2000000");    // area_total_l2
+  EXPECT_EQ(cells[22], "3");          // num_alus
+  EXPECT_EQ(cells[23], "40");         // mem_cells
+  EXPECT_EQ(cells[26], "2add+1mul");
 }
 
 TEST(Report, CsvQuotesFieldsWithSpecialCharacters) {
@@ -151,6 +158,10 @@ TEST(Report, JsonRoundTripsAllFields) {
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("clock").number, r.power.clock_tree);
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("control").number, r.power.control);
     EXPECT_DOUBLE_EQ(j.at("power_mw").at("io").number, r.power.io);
+    EXPECT_EQ(j.at("attribution").at("hotspot").str, r.hotspot);
+    EXPECT_DOUBLE_EQ(j.at("attribution").at("hotspot_share").number,
+                     r.hotspot_share);
+    EXPECT_DOUBLE_EQ(j.at("attribution").at("crest").number, r.crest);
     EXPECT_DOUBLE_EQ(j.at("area_l2").at("total").number, r.area.total);
     EXPECT_DOUBLE_EQ(j.at("area_l2").at("alus").number, r.area.alus);
     EXPECT_DOUBLE_EQ(j.at("area_l2").at("storage").number, r.area.storage);

@@ -1,6 +1,8 @@
 // Unit tests for the per-step power trace.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/synthesizer.hpp"
 #include "power/trace.hpp"
 #include "sim/simulator.hpp"
@@ -61,6 +63,31 @@ TEST(PowerTraceTest, ProfileRendersOneRowPerStep) {
   // row count == period
   EXPECT_EQ(std::count(prof.begin(), prof.end(), '\n'),
             static_cast<long>(6));
+}
+
+// Regression: entry 0 of energy_fj() is a synthetic priming sample (the
+// simulator's initial settle before any stimulus), always 0 fJ. It must be
+// kept in the vector (one-entry-per-step indexing) but excluded from the
+// statistics — including it deflated mean_fj and inflated the crest factor
+// by steps/(steps-1).
+TEST(PowerTraceTest, PrimingSampleExcludedFromStats) {
+  const auto b = suite::motivating(8);
+  const auto trace = run_trace(b, core::DesignStyle::ConventionalGated, 1, 10);
+  const auto& e = trace.energy_fj();
+  ASSERT_FALSE(e.empty());
+  EXPECT_EQ(e.front(), 0.0);  // the priming entry itself
+
+  double sum = 0.0, peak = 0.0;
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    sum += e[i];
+    peak = std::max(peak, e[i]);
+  }
+  const double expected_mean = sum / static_cast<double>(e.size() - 1);
+  EXPECT_DOUBLE_EQ(trace.mean_fj(), expected_mean);
+  EXPECT_DOUBLE_EQ(trace.peak_fj(), peak);
+  EXPECT_DOUBLE_EQ(trace.crest(), peak / expected_mean);
+  // Without the exclusion the mean would be sum/size — strictly smaller.
+  EXPECT_GT(trace.mean_fj(), sum / static_cast<double>(e.size()));
 }
 
 TEST(PowerTraceTest, ConstantInputsGiveQuieterTrace) {

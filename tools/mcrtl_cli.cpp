@@ -50,6 +50,14 @@
 //                    site:observe, each optionally :match=SUBSTR;
 //                    repeatable
 //   --vcd FILE       (synth) dump a VCD waveform of the measured run
+//   --power-trace-out FILE (synth) write the per-clock-domain energy
+//                    waveform (fJ per master cycle, one column per domain)
+//                    as CSV; the same waveform is merged into --trace-out
+//                    as Perfetto counter tracks
+//   --power-top K    (synth) print the K hottest components of the
+//                    hierarchical power attribution
+//   --power-flame FILE (synth) write the attribution as flamegraph
+//                    collapsed stacks ("domain;component;op fJ" lines)
 //   --trace-out FILE enable tracing; write Chrome trace-event JSON
 //                    (chrome://tracing / Perfetto) on exit
 //   --metrics-out FILE enable tracing; write counters/gauges/span JSON
@@ -70,6 +78,7 @@
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
 #include "obs/obs.hpp"
+#include "power/attribution.hpp"
 #include "power/estimator.hpp"
 #include "power/report.hpp"
 #include "rtl/analysis.hpp"
@@ -113,6 +122,9 @@ struct CliOptions {
   bool no_quarantine = false;
   std::vector<std::string> fault_specs;
   std::string vcd_file;
+  std::string power_trace_file;
+  std::string power_flame_file;
+  int power_top = 0;
   std::string trace_file;
   std::string metrics_file;
   bool progress = false;
@@ -135,7 +147,9 @@ int usage() {
                "             [--checkpoint file] [--point-timeout s] "
                "[--retries N] [--backoff ms]\n"
                "             [--no-quarantine] [--fault-inject spec]\n"
-               "             [--vcd file] [--trace-out file] "
+               "             [--vcd file] [--power-trace-out file] "
+               "[--power-top K] [--power-flame file]\n"
+               "             [--trace-out file] "
                "[--metrics-out file] [--progress]\n");
   return 2;
 }
@@ -222,6 +236,18 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       const char* v = next();
       if (!v) return false;
       o.vcd_file = v;
+    } else if (a == "--power-trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      o.power_trace_file = v;
+    } else if (a == "--power-flame") {
+      const char* v = next();
+      if (!v) return false;
+      o.power_flame_file = v;
+    } else if (a == "--power-top") {
+      const char* v = next();
+      if (!v) return false;
+      o.power_top = std::atoi(v);
     } else if (a == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -321,6 +347,22 @@ power::ExperimentRecord measure(const Loaded& l,
   sim::PhaseHeatmap heatmap;
   const bool want_heatmap = print_structure && obs::enabled();
   if (want_heatmap) simulator.set_heatmap(&heatmap);
+  const auto tech = power::TechLibrary::cmos08();
+  // Power attribution rides on the same run whenever anything will consume
+  // it: an explicit --power-* flag, or tracing (the per-domain waveform is
+  // merged into the Chrome trace as counter tracks). Attaching the probe
+  // never changes simulation results.
+  const bool want_power_profile =
+      print_structure && (!o.power_trace_file.empty() ||
+                          !o.power_flame_file.empty() || o.power_top > 0 ||
+                          obs::enabled());
+  std::unique_ptr<power::Attribution> attribution;
+  std::unique_ptr<sim::PowerProbe> probe;
+  if (want_power_profile) {
+    attribution = std::make_unique<power::Attribution>(*syn.design, tech);
+    probe = std::make_unique<sim::PowerProbe>(attribution->energy_model());
+    simulator.set_power_probe(probe.get());
+  }
   const auto res = simulator.run(stream, l.graph->inputs(), l.graph->outputs());
   if (vcd) {
     std::ofstream(o.vcd_file) << vcd->render();
@@ -335,8 +377,6 @@ power::ExperimentRecord measure(const Loaded& l,
                      static_cast<double>(heatmap.phase_total(p)));
     }
   }
-  const auto tech = power::TechLibrary::cmos08();
-
   power::ExperimentRecord rec;
   rec.experiment = "cli";
   rec.design = syn.design->style_name;
@@ -346,6 +386,46 @@ power::ExperimentRecord measure(const Loaded& l,
   rec.power = power::estimate_power(*syn.design, res.activity, tech);
   rec.area = power::estimate_area(*syn.design, tech);
   rec.stats = syn.design->stats;
+
+  if (want_power_profile) {
+    power::publish_power_tracks(*probe);  // no-op unless tracing is on
+    obs::observe_many("power.step_fj", probe->step_energies());
+    const auto arep = attribution->attribute(res.activity);
+    if (!arep.rows.empty()) {
+      rec.hotspot = arep.rows.front().component;
+      rec.hotspot_share = arep.total_fj > 0.0
+                              ? arep.rows.front().energy_fj / arep.total_fj
+                              : 0.0;
+    }
+    rec.crest = probe->crest();
+    if (!o.power_trace_file.empty()) {
+      std::ofstream out(o.power_trace_file);
+      out << "step";
+      for (int d = 0; d <= probe->num_domains(); ++d) {
+        out << ',' << power::domain_label(d) << "_fj";
+      }
+      out << '\n';
+      for (std::size_t s = 0; s < probe->steps(); ++s) {
+        out << s;
+        for (int d = 0; d <= probe->num_domains(); ++d) {
+          out << ',' << str_format("%.3f", probe->step_fj(s, d));
+        }
+        out << '\n';
+      }
+      std::printf("wrote %s\n", o.power_trace_file.c_str());
+    }
+    if (!o.power_flame_file.empty()) {
+      std::ofstream(o.power_flame_file) << arep.collapsed_stacks();
+      std::printf("wrote %s\n", o.power_flame_file.c_str());
+    }
+    if (o.power_top > 0) {
+      std::printf("\ntop %d power hotspots (of %zu attributed rows, "
+                  "%.0f fJ total, crest %.2f):\n%s",
+                  o.power_top, arep.rows.size(), arep.total_fj, rec.crest,
+                  arep.top_table(static_cast<std::size_t>(o.power_top))
+                      .c_str());
+    }
+  }
 
   if (print_structure) {
     std::printf("%s\n", rtl::describe_dpms(*syn.design).c_str());
@@ -509,6 +589,9 @@ int cmd_explore(const CliOptions& o) {
     rec.power = p.power;
     rec.power_stddev = p.power_stddev;
     rec.power_ci95 = p.power_ci95;
+    rec.hotspot = p.hotspot;
+    rec.hotspot_share = p.hotspot_share;
+    rec.crest = p.crest;
     rec.area = p.area;
     rec.stats = p.stats;
     recs.push_back(std::move(rec));
