@@ -1,11 +1,11 @@
 #include "core/checkpoint.hpp"
 
-#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "core/record.hpp"
 #include "dfg/textio.hpp"
 #include "util/fault_injection.hpp"
 #include "util/strings.hpp"
@@ -18,114 +18,31 @@ namespace mcrtl::core {
 
 namespace {
 
-// v3: the point record grew hotspot/hotspot_share/crest (28 payload
-// tokens); v2 had added power_stddev/power_ci95 (25). A journal from an
-// older version no longer matches the magic and is treated as absent — the
-// sweep starts fresh and overwrites it.
-constexpr const char* kMagic = "mcrtl-journal v3 fp=";
+using record::encode_double;
+using record::encode_str;
+using record::encode_u64;
+using record::fnv1a64;
 
-std::uint64_t fnv1a64(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-/// Space-free token encoding for labels: bytes outside the printable ASCII
-/// range, '%' and ' ' become %XX. Prefixed with "s:" so an empty string is
-/// still a well-formed token.
-std::string encode_str(const std::string& s) {
-  std::string out = "s:";
-  for (unsigned char c : s) {
-    if (c > 0x20 && c < 0x7f && c != '%') {
-      out += static_cast<char>(c);
-    } else {
-      out += str_format("%%%02x", c);
-    }
-  }
-  return out;
-}
-
-bool decode_str(const std::string& tok, std::string& out) {
-  if (tok.rfind("s:", 0) != 0) return false;
-  out.clear();
-  for (std::size_t i = 2; i < tok.size(); ++i) {
-    if (tok[i] == '%') {
-      if (i + 2 >= tok.size()) return false;
-      unsigned v = 0;
-      for (int k = 1; k <= 2; ++k) {
-        const char c = tok[i + static_cast<std::size_t>(k)];
-        v <<= 4;
-        if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
-        else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
-        else return false;
-      }
-      out += static_cast<char>(v);
-      i += 2;
-    } else {
-      out += tok[i];
-    }
-  }
-  return true;
-}
-
-std::string encode_double(double d) {
-  return str_format("%016llx", static_cast<unsigned long long>(
-                                   std::bit_cast<std::uint64_t>(d)));
-}
-
-bool decode_double(const std::string& tok, double& out) {
-  if (tok.size() != 16) return false;
-  std::uint64_t bits = 0;
-  for (char c : tok) {
-    bits <<= 4;
-    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else return false;
-  }
-  out = std::bit_cast<double>(bits);
-  return true;
-}
-
-std::vector<std::string> split_tokens(const std::string& line) {
-  std::vector<std::string> toks;
-  std::istringstream is(line);
-  std::string t;
-  while (is >> t) toks.push_back(t);
-  return toks;
-}
+// v4: DesignStats grew `period` (29 payload tokens) and the fingerprint
+// covers per-configuration hashes (ExplorerConfig::explicit_configs). v3
+// had added hotspot/hotspot_share/crest (28); v2 power_stddev/power_ci95
+// (25). A journal from an older version no longer matches the magic and is
+// treated as absent — the sweep starts fresh and overwrites it. The token
+// codec itself lives in core/record.hpp, shared with the search layer's
+// result cache.
+constexpr const char* kMagic = "mcrtl-journal v4 fp=";
 
 /// The journalled payload of one record, without the leading "p " and the
 /// trailing checksum.
 std::string record_payload(std::size_t index, const ExplorationPoint& p) {
   std::ostringstream os;
-  os << index << ' ' << encode_str(p.label);
-  const double pow[] = {p.power.combinational, p.power.storage,
-                        p.power.clock_tree,    p.power.control,
-                        p.power.io,            p.power.leakage,
-                        p.power.total,         p.power_stddev,
-                        p.power_ci95};
-  for (double d : pow) os << ' ' << encode_double(d);
-  const double area[] = {p.area.alus,       p.area.storage, p.area.muxes,
-                         p.area.controller, p.area.io,      p.area.clocking,
-                         p.area.fixed,      p.area.total};
-  for (double d : area) os << ' ' << encode_double(d);
-  os << ' ' << encode_str(p.stats.alu_summary) << ' ' << p.stats.num_alus
-     << ' ' << p.stats.num_memory_cells << ' ' << p.stats.num_mux_inputs
-     << ' ' << p.stats.num_muxes << ' ' << p.stats.num_clocks;
-  os << ' ' << encode_str(p.hotspot) << ' ' << encode_double(p.hotspot_share)
-     << ' ' << encode_double(p.crest);
+  os << index << ' ' << record::encode_point_fields(p);
   return os.str();
 }
 
 std::string record_line(std::size_t index, const ExplorationPoint& p) {
   const std::string payload = record_payload(index, p);
-  return "p " + payload + ' ' +
-         str_format("%016llx",
-                    static_cast<unsigned long long>(fnv1a64(payload))) +
-         '\n';
+  return "p " + payload + ' ' + encode_u64(fnv1a64(payload)) + '\n';
 }
 
 /// Parse one complete record line. Returns false (leaving `index`/`point`
@@ -136,50 +53,17 @@ bool parse_record(const std::string& line, std::size_t& index,
   const std::size_t crc_sep = line.rfind(' ');
   if (crc_sep == std::string::npos || crc_sep < 2) return false;
   const std::string payload = line.substr(2, crc_sep - 2);
-  const std::string crc_tok = line.substr(crc_sep + 1);
-  double crc_probe;  // reuse the 16-hex decoder for the checksum field
-  if (!decode_double(crc_tok, crc_probe)) return false;
-  if (std::bit_cast<std::uint64_t>(crc_probe) != fnv1a64(payload)) return false;
+  std::uint64_t crc = 0;
+  if (!record::decode_u64(line.substr(crc_sep + 1), crc)) return false;
+  if (crc != fnv1a64(payload)) return false;
 
-  const auto toks = split_tokens(payload);
-  // index, label, 9 power (7 breakdown + stddev + ci95), 8 area,
-  // alu_summary, 5 stats ints, hotspot, hotspot_share, crest = 28 tokens.
-  if (toks.size() != 28) return false;
+  const auto toks = record::split_tokens(payload);
+  if (toks.size() != 1 + record::kPointTokens) return false;
   char* end = nullptr;
   errno = 0;
   index = static_cast<std::size_t>(std::strtoull(toks[0].c_str(), &end, 10));
   if (errno != 0 || end == toks[0].c_str() || *end != '\0') return false;
-  if (!decode_str(toks[1], point.label)) return false;
-  double* pow[] = {&point.power.combinational, &point.power.storage,
-                   &point.power.clock_tree,    &point.power.control,
-                   &point.power.io,            &point.power.leakage,
-                   &point.power.total,         &point.power_stddev,
-                   &point.power_ci95};
-  for (std::size_t k = 0; k < 9; ++k) {
-    if (!decode_double(toks[2 + k], *pow[k])) return false;
-  }
-  double* area[] = {&point.area.alus,       &point.area.storage,
-                    &point.area.muxes,      &point.area.controller,
-                    &point.area.io,         &point.area.clocking,
-                    &point.area.fixed,      &point.area.total};
-  for (std::size_t k = 0; k < 8; ++k) {
-    if (!decode_double(toks[11 + k], *area[k])) return false;
-  }
-  if (!decode_str(toks[19], point.stats.alu_summary)) return false;
-  int* ints[] = {&point.stats.num_alus, &point.stats.num_memory_cells,
-                 &point.stats.num_mux_inputs, &point.stats.num_muxes,
-                 &point.stats.num_clocks};
-  for (std::size_t k = 0; k < 5; ++k) {
-    const std::string& t = toks[20 + k];
-    errno = 0;
-    const long v = std::strtol(t.c_str(), &end, 10);
-    if (errno != 0 || end == t.c_str() || *end != '\0') return false;
-    *ints[k] = static_cast<int>(v);
-  }
-  if (!decode_str(toks[25], point.hotspot)) return false;
-  if (!decode_double(toks[26], point.hotspot_share)) return false;
-  if (!decode_double(toks[27], point.crest)) return false;
-  return true;
+  return record::decode_point_fields(toks, 1, point);
 }
 
 std::string header_line(std::uint64_t fp) {
@@ -215,23 +99,36 @@ void fsync_file(std::FILE* f) {
 
 }  // namespace
 
+std::uint64_t measurement_fingerprint(const dfg::Graph& graph,
+                                      const dfg::Schedule& sched,
+                                      std::size_t computations,
+                                      std::uint64_t seed, std::size_t streams,
+                                      const power::PowerParams& params) {
+  std::ostringstream os;
+  os << "mcrtl-explorer-v2\n" << dfg::serialize_dfg(graph, &sched) << '\n'
+     << computations << ' ' << seed << ' ' << streams << ' '
+     << encode_double(params.vdd) << ' ' << encode_double(params.f_master)
+     << ' ' << encode_double(params.leakage_mw_per_mlambda2) << ' '
+     << params.include_controller_fsm << '\n';
+  return fnv1a64(os.str());
+}
+
 std::uint64_t CheckpointJournal::fingerprint(const ExplorerConfig& cfg,
                                              const dfg::Graph& graph,
                                              const dfg::Schedule& sched) {
   std::ostringstream os;
-  os << "mcrtl-explorer-v1\n" << dfg::serialize_dfg(graph, &sched) << '\n'
+  os << encode_u64(measurement_fingerprint(graph, sched, cfg.computations,
+                                           cfg.seed, cfg.streams,
+                                           cfg.power_params))
+     << '\n'
      << cfg.max_clocks << ' ' << cfg.include_conventional << ' '
-     << cfg.include_split << ' ' << cfg.include_dff_variant << ' '
-     << cfg.computations << ' ' << cfg.seed << ' ' << cfg.streams << ' '
-     << encode_double(cfg.power_params.vdd) << ' '
-     << encode_double(cfg.power_params.f_master) << ' '
-     << encode_double(cfg.power_params.leakage_mw_per_mlambda2) << ' '
-     << cfg.power_params.include_controller_fsm << '\n';
-  // The enumerated labels pin the enumeration logic itself: if a future
-  // library version enumerates differently, old journals are stale.
+     << cfg.include_split << ' ' << cfg.include_dff_variant << '\n';
+  // The enumerated (label, config-hash) pairs pin the enumeration logic
+  // itself — including explicit_configs lists, whose labels alone would
+  // not determine the options: if a future library version (or a different
+  // caller-supplied list) enumerates differently, old journals are stale.
   for (const auto& [opts, label] : enumerate_configurations(cfg)) {
-    (void)opts;
-    os << label << '\n';
+    os << label << ' ' << encode_u64(config_hash(opts)) << '\n';
   }
   return fnv1a64(os.str());
 }

@@ -45,6 +45,18 @@ class JournalMismatchError : public Error {
   explicit JournalMismatchError(const std::string& what) : Error(what) {}
 };
 
+/// Hash of (behaviour, measurement knobs) — the part of a sweep's identity
+/// that is independent of which *other* configurations ride in the same
+/// sweep. The checkpoint fingerprint builds on it; the search layer's
+/// result cache keys each point on measurement_fingerprint ⊕
+/// config_hash(options), which is why a cached row stays valid across
+/// overlapping sweeps.
+std::uint64_t measurement_fingerprint(const dfg::Graph& graph,
+                                      const dfg::Schedule& sched,
+                                      std::size_t computations,
+                                      std::uint64_t seed, std::size_t streams,
+                                      const power::PowerParams& params);
+
 class CheckpointJournal {
  public:
   /// Hash of everything that determines an exploration's measurements.

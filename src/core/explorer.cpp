@@ -4,8 +4,8 @@
 #include <chrono>
 #include <exception>
 #include <memory>
-#include <numeric>
 #include <thread>
+#include <unordered_map>
 
 #include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
@@ -33,8 +33,34 @@ const ExplorationPoint& ExplorationResult::best_power() const {
   return points.front();
 }
 
+PointMetrics point_metrics(const ExplorationPoint& p) {
+  return PointMetrics{p.power.total, p.area.total,
+                      static_cast<double>(p.stats.period)};
+}
+
+bool dominates(const PointMetrics& a, const PointMetrics& b) {
+  if (a.power > b.power || a.area > b.area || a.period > b.period) {
+    return false;
+  }
+  return a.power < b.power || a.area < b.area || a.period < b.period;
+}
+
+bool dominates_power_area(const PointMetrics& a, const PointMetrics& b) {
+  return (a.power < b.power && a.area <= b.area) ||
+         (a.power <= b.power && a.area < b.area);
+}
+
+bool point_order_less(const ExplorationPoint& a, const ExplorationPoint& b) {
+  const PointMetrics ma = point_metrics(a);
+  const PointMetrics mb = point_metrics(b);
+  if (ma.power != mb.power) return ma.power < mb.power;
+  if (ma.area != mb.area) return ma.area < mb.area;
+  return ma.period < mb.period;
+}
+
 std::vector<std::pair<SynthesisOptions, std::string>> enumerate_configurations(
     const ExplorerConfig& cfg) {
+  if (!cfg.explicit_configs.empty()) return cfg.explicit_configs;
   std::vector<std::pair<SynthesisOptions, std::string>> configs;
   if (cfg.include_conventional) {
     SynthesisOptions opts;
@@ -127,6 +153,20 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     journal = std::make_unique<CheckpointJournal>(cfg.checkpoint_file, fp);
     if (replayed_count > 0) {
       obs::count("explore.journal.replayed", replayed_count);
+    }
+  }
+
+  // In-sweep deduplication: identical configurations (possible with
+  // explicit_configs, e.g. the search layer's survivor lists) are
+  // simulated once per unique config hash; the measurement is fanned out
+  // to the duplicate labels after the join. canonical[i] == i marks the
+  // slot that actually evaluates.
+  std::vector<std::size_t> canonical(configs.size());
+  {
+    std::unordered_map<std::uint64_t, std::size_t> first;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      canonical[i] = first.emplace(config_hash(configs[i].first), i)
+                         .first->second;
     }
   }
 
@@ -286,9 +326,51 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     if (cfg.on_point) cfg.on_point(result.points[i]);
   };
 
+  // Fan a canonical slot's measurement out to a duplicate slot: same
+  // numbers under the duplicate's own label/options. Runs after every
+  // canonical slot settled (evaluation, replay or quarantine), in
+  // enumeration order — deterministic for any jobs value. A journalled
+  // duplicate replays like any other slot; only genuine fan-outs count as
+  // explore.deduped.
+  auto fill_duplicate = [&](std::size_t i) {
+    const std::size_t c = canonical[i];
+    if (replayed[i]) {
+      result.points[i] = std::move(*replayed[i]);
+      done[i] = 1;
+      if (cfg.on_point) cfg.on_point(result.points[i]);
+      return;
+    }
+    if (failed[c]) {
+      failed[i] = std::make_unique<FailedPoint>(*failed[c]);
+      failed[i]->label = configs[i].second;
+      failed[i]->options = configs[i].first;
+      done[i] = 1;
+      obs::count("explore.deduped");
+      obs::count("explore.quarantined");
+      return;
+    }
+    if (!done[c]) return;  // canonical never settled (pool fault path)
+    ExplorationPoint p = result.points[c];
+    p.options = configs[i].first;
+    p.label = configs[i].second;
+    result.points[i] = std::move(p);
+    done[i] = 1;
+    obs::count("explore.deduped");
+    if (journal) {
+      if (journal->append(i, result.points[i])) {
+        obs::count("explore.journal.appended");
+      } else {
+        obs::count("explore.journal.errors");
+      }
+    }
+    if (cfg.on_point) cfg.on_point(result.points[i]);
+  };
+
   const unsigned jobs = ThreadPool::resolve_jobs(cfg.jobs);
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) run_point(i);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (canonical[i] == i) run_point(i);
+    }
   } else {
     // Longest-first scheduling: simulation cost is dominated by the clock
     // count (the period is the smallest multiple of n >= T+1, so higher n
@@ -297,8 +379,11 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
     // first keeps the work-stealing pool from being tail-blocked by one
     // large biquad/bandpass configuration that a naive enumeration-order
     // submission would start last.
-    std::vector<std::size_t> order(configs.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<std::size_t> order;
+    order.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (canonical[i] == i) order.push_back(i);
+    }
     auto cost_rank = [&](std::size_t i) {
       const SynthesisOptions& o = configs[i].first;
       const int n = o.style == DesignStyle::MultiClock ? o.num_clocks : 1;
@@ -339,9 +424,12 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
       // Degraded mode: any slot the pool never executed (task-level fault)
       // runs inline on this thread — slower, but the sweep completes.
       for (std::size_t i = 0; i < configs.size(); ++i) {
-        if (!done[i]) run_point(i);
+        if (canonical[i] == i && !done[i]) run_point(i);
       }
     }
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (canonical[i] != i) fill_duplicate(i);
   }
   obs::count("explore.points", configs.size());
 
@@ -363,19 +451,13 @@ ExplorationResult explore(const dfg::Graph& graph, const dfg::Schedule& sched,
 
   obs::Span sort_span("explore.sort");
   std::stable_sort(result.points.begin(), result.points.end(),
-            [](const ExplorationPoint& a, const ExplorationPoint& b) {
-              if (a.power.total != b.power.total) {
-                return a.power.total < b.power.total;
-              }
-              return a.area.total < b.area.total;
-            });
+                   point_order_less);
   for (auto& p : result.points) {
-    p.pareto = std::none_of(
-        result.points.begin(), result.points.end(),
-        [&](const ExplorationPoint& q) {
-          return (q.power.total < p.power.total && q.area.total <= p.area.total) ||
-                 (q.power.total <= p.power.total && q.area.total < p.area.total);
-        });
+    const PointMetrics mp = point_metrics(p);
+    p.pareto = std::none_of(result.points.begin(), result.points.end(),
+                            [&](const ExplorationPoint& q) {
+                              return dominates_power_area(point_metrics(q), mp);
+                            });
   }
   return result;
 }

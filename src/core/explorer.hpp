@@ -46,6 +46,34 @@ struct ExplorationPoint {
   bool pareto = false;  ///< on the power/area frontier
 };
 
+/// The objective vector of a design point — the one place that defines
+/// which measured fields trade off against each other. Both the explorer's
+/// result ordering / Pareto marking and the search layer's ParetoFront and
+/// dominance early-abort compare points through these accessors, so the
+/// two can never disagree on what "better" means (and nothing re-derives
+/// area or period from report strings).
+struct PointMetrics {
+  double power = 0.0;   ///< mW (PowerBreakdown::total)
+  double area = 0.0;    ///< λ² (AreaBreakdown::total)
+  double period = 0.0;  ///< master cycles per computation (DesignStats)
+};
+
+PointMetrics point_metrics(const ExplorationPoint& p);
+
+/// Weak Pareto dominance over (power, area, period): `a` is no worse in
+/// every objective and strictly better in at least one.
+bool dominates(const PointMetrics& a, const PointMetrics& b);
+
+/// The historical explorer dominance: power/area only (period ignored) —
+/// the frontier the `ExplorationPoint::pareto` flag marks.
+bool dominates_power_area(const PointMetrics& a, const PointMetrics& b);
+
+/// The explorer's result ordering: ascending power, area-then-period
+/// tie-break. Strict weak ordering; used by explore()'s final sort and by
+/// the search layer so fresh, cached and exhaustive row sets agree
+/// byte-for-byte on order.
+bool point_order_less(const ExplorationPoint& a, const ExplorationPoint& b);
+
 struct ExplorerConfig {
   int max_clocks = 4;
   bool include_conventional = true;
@@ -104,6 +132,14 @@ struct ExplorerConfig {
   /// point fails with mcrtl::TimeoutError and follows the normal
   /// retry/quarantine path.
   double point_timeout_s = 0.0;
+  /// Evaluate exactly these (options, label) pairs instead of the built-in
+  /// enumeration (empty = the historical enumeration over the knobs
+  /// above). This is how the search layer runs its full-depth survivor
+  /// re-simulation through the ordinary explorer pipeline — journal,
+  /// retry/quarantine and determinism contracts included. Labels should be
+  /// distinct; configurations need not be (identical ones are deduplicated
+  /// and the measurement fanned out, see explore()).
+  std::vector<std::pair<SynthesisOptions, std::string>> explicit_configs;
 };
 
 /// A configuration that exhausted its attempts under

@@ -1,0 +1,151 @@
+#include "core/record.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcrtl::core::record {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string encode_str(const std::string& s) {
+  std::string out = "s:";
+  for (unsigned char c : s) {
+    if (c > 0x20 && c < 0x7f && c != '%') {
+      out += static_cast<char>(c);
+    } else {
+      out += str_format("%%%02x", c);
+    }
+  }
+  return out;
+}
+
+bool decode_str(const std::string& tok, std::string& out) {
+  if (tok.rfind("s:", 0) != 0) return false;
+  out.clear();
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    if (tok[i] == '%') {
+      if (i + 2 >= tok.size()) return false;
+      unsigned v = 0;
+      for (int k = 1; k <= 2; ++k) {
+        const char c = tok[i + static_cast<std::size_t>(k)];
+        v <<= 4;
+        if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+        else return false;
+      }
+      out += static_cast<char>(v);
+      i += 2;
+    } else {
+      out += tok[i];
+    }
+  }
+  return true;
+}
+
+std::string encode_u64(std::uint64_t v) {
+  return str_format("%016llx", static_cast<unsigned long long>(v));
+}
+
+bool decode_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : tok) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = bits;
+  return true;
+}
+
+std::string encode_double(double d) {
+  return encode_u64(std::bit_cast<std::uint64_t>(d));
+}
+
+bool decode_double(const std::string& tok, double& out) {
+  std::uint64_t bits = 0;
+  if (!decode_u64(tok, bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+std::string encode_point_fields(const ExplorationPoint& p) {
+  std::ostringstream os;
+  os << encode_str(p.label);
+  const double pow[] = {p.power.combinational, p.power.storage,
+                        p.power.clock_tree,    p.power.control,
+                        p.power.io,            p.power.leakage,
+                        p.power.total,         p.power_stddev,
+                        p.power_ci95};
+  for (double d : pow) os << ' ' << encode_double(d);
+  const double area[] = {p.area.alus,       p.area.storage, p.area.muxes,
+                         p.area.controller, p.area.io,      p.area.clocking,
+                         p.area.fixed,      p.area.total};
+  for (double d : area) os << ' ' << encode_double(d);
+  os << ' ' << encode_str(p.stats.alu_summary) << ' ' << p.stats.num_alus
+     << ' ' << p.stats.num_memory_cells << ' ' << p.stats.num_mux_inputs
+     << ' ' << p.stats.num_muxes << ' ' << p.stats.num_clocks << ' '
+     << p.stats.period;
+  os << ' ' << encode_str(p.hotspot) << ' ' << encode_double(p.hotspot_share)
+     << ' ' << encode_double(p.crest);
+  return os.str();
+}
+
+bool decode_point_fields(const std::vector<std::string>& toks, std::size_t at,
+                         ExplorationPoint& point) {
+  if (toks.size() < at + kPointTokens) return false;
+  if (!decode_str(toks[at], point.label)) return false;
+  double* pow[] = {&point.power.combinational, &point.power.storage,
+                   &point.power.clock_tree,    &point.power.control,
+                   &point.power.io,            &point.power.leakage,
+                   &point.power.total,         &point.power_stddev,
+                   &point.power_ci95};
+  for (std::size_t k = 0; k < 9; ++k) {
+    if (!decode_double(toks[at + 1 + k], *pow[k])) return false;
+  }
+  double* area[] = {&point.area.alus,       &point.area.storage,
+                    &point.area.muxes,      &point.area.controller,
+                    &point.area.io,         &point.area.clocking,
+                    &point.area.fixed,      &point.area.total};
+  for (std::size_t k = 0; k < 8; ++k) {
+    if (!decode_double(toks[at + 10 + k], *area[k])) return false;
+  }
+  if (!decode_str(toks[at + 18], point.stats.alu_summary)) return false;
+  int* ints[] = {&point.stats.num_alus,   &point.stats.num_memory_cells,
+                 &point.stats.num_mux_inputs, &point.stats.num_muxes,
+                 &point.stats.num_clocks, &point.stats.period};
+  char* end = nullptr;
+  for (std::size_t k = 0; k < 6; ++k) {
+    const std::string& t = toks[at + 19 + k];
+    errno = 0;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (errno != 0 || end == t.c_str() || *end != '\0') return false;
+    *ints[k] = static_cast<int>(v);
+  }
+  if (!decode_str(toks[at + 25], point.hotspot)) return false;
+  if (!decode_double(toks[at + 26], point.hotspot_share)) return false;
+  if (!decode_double(toks[at + 27], point.crest)) return false;
+  return true;
+}
+
+}  // namespace mcrtl::core::record

@@ -21,6 +21,28 @@ std::string style_label(DesignStyle style, int num_clocks) {
   return "?";
 }
 
+std::uint64_t config_hash(const SynthesisOptions& opts) {
+  // Serialize every field that changes the synthesized design; a future
+  // SynthesisOptions field must be appended here (the explorer dedupe and
+  // the search cache would otherwise alias distinct configurations).
+  const std::string s = str_format(
+      "style=%d clocks=%d method=%d latches=%d lctl=%d xfer=%d sbind=%d "
+      "iso=%d ic=%d fu=%d:%a:%u",
+      static_cast<int>(opts.style), opts.num_clocks,
+      static_cast<int>(opts.method), opts.use_latches ? 1 : 0,
+      opts.latched_control ? 1 : 0, opts.insert_transfers ? 1 : 0,
+      static_cast<int>(opts.storage_binding), opts.operand_isolation ? 1 : 0,
+      static_cast<int>(opts.interconnect),
+      opts.fu.partition_constrained ? 1 : 0, opts.fu.function_add_cost,
+      opts.fu.max_functions);
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 Synthesized synthesize(const dfg::Graph& graph, const dfg::Schedule& sched,
                        const SynthesisOptions& opts) {
   obs::Span span("core.synthesize");

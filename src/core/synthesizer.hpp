@@ -56,6 +56,12 @@ struct Synthesized {
 /// Paper-style row label for a style/clock-count combination.
 std::string style_label(DesignStyle style, int num_clocks);
 
+/// Stable 64-bit hash of every SynthesisOptions field. Two options with the
+/// same hash synthesize the same design for the same (graph, schedule):
+/// the explorer's in-sweep deduplication and the search layer's persistent
+/// result cache both key on it.
+std::uint64_t config_hash(const SynthesisOptions& opts);
+
 /// Synthesize `graph` (scheduled by `sched`) in the requested style.
 Synthesized synthesize(const dfg::Graph& graph, const dfg::Schedule& sched,
                        const SynthesisOptions& opts);

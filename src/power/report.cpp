@@ -48,7 +48,8 @@ std::string to_csv(const std::vector<ExperimentRecord>& records) {
         "hotspot,hotspot_share,crest,"
         "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
         "area_controller_l2,"
-        "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary\n";
+        "num_alus,mem_cells,mux_inputs,num_clocks,period,alu_summary,"
+        "pareto,dominated_by\n";
   for (const auto& r : records) {
     os << csv_escape(r.experiment) << ',' << csv_escape(r.design) << ','
        << csv_escape(r.benchmark) << ',' << r.width << ',' << r.computations
@@ -69,8 +70,9 @@ std::string to_csv(const std::vector<ExperimentRecord>& records) {
        << str_format("%.0f", r.area.muxes) << ','
        << str_format("%.0f", r.area.controller) << ',' << r.stats.num_alus
        << ',' << r.stats.num_memory_cells << ',' << r.stats.num_mux_inputs
-       << ',' << r.stats.num_clocks << ',' << csv_escape(r.stats.alu_summary)
-       << '\n';
+       << ',' << r.stats.num_clocks << ',' << r.stats.period << ','
+       << csv_escape(r.stats.alu_summary) << ',' << (r.pareto ? 1 : 0) << ','
+       << csv_escape(r.dominated_by) << '\n';
   }
   return os.str();
 }
@@ -105,8 +107,11 @@ std::string to_json(const std::vector<ExperimentRecord>& records) {
        << "},\n   \"stats\": {\"alus\": " << r.stats.num_alus
        << ", \"mem_cells\": " << r.stats.num_memory_cells
        << ", \"mux_inputs\": " << r.stats.num_mux_inputs
-       << ", \"clocks\": " << r.stats.num_clocks << ", \"alu_summary\": \""
-       << json_escape(r.stats.alu_summary) << "\"}}";
+       << ", \"clocks\": " << r.stats.num_clocks
+       << ", \"period\": " << r.stats.period << ", \"alu_summary\": \""
+       << json_escape(r.stats.alu_summary) << "\"},\n   \"pareto\": "
+       << (r.pareto ? "true" : "false") << ", \"dominated_by\": \""
+       << json_escape(r.dominated_by) << "\"}";
     os << (i + 1 < records.size() ? ",\n" : "\n");
   }
   os << "]\n";

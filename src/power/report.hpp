@@ -36,6 +36,11 @@ struct ExperimentRecord {
   double crest = 0.0;
   AreaBreakdown area;
   rtl::DesignStats stats;
+  /// Pareto annotation (filled by the caller from the explorer/search
+  /// result; defaults mean "not annotated"): on the frontier, and — when
+  /// dominated — the label of the dominating row.
+  bool pareto = false;
+  std::string dominated_by;
 };
 
 /// CSV with a header row; stable column order.

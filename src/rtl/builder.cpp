@@ -374,6 +374,7 @@ Design build_design(const alloc::Binding& binding, const BuildOptions& opts) {
   d.stats.num_mux_inputs = binding.num_mux_inputs();
   d.stats.num_muxes = binding.num_muxes();
   d.stats.num_clocks = binding.num_clocks();
+  d.stats.period = d.clocks.period();
   if (obs::enabled()) {
     obs::count("rtl.designs_built");
     obs::count("rtl.nets", d.netlist.num_nets());

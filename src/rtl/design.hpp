@@ -21,6 +21,10 @@ struct DesignStats {
   int num_mux_inputs = 0;
   int num_muxes = 0;
   int num_clocks = 1;
+  /// Master clock cycles per computation (ClockScheme::period()): the
+  /// design's throughput denominator, recorded structurally so reports and
+  /// Pareto comparisons never re-derive it from labels.
+  int period = 0;
 };
 
 /// The synthesized design. Movable, not copyable (owns the netlist).

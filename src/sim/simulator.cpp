@@ -298,8 +298,16 @@ SimResult Simulator::run(const InputStream& stream,
   }
 
   // ---- main loop ----------------------------------------------------------
-  result.outputs.reserve(stream.size());
-  for (std::size_t comp = 0; comp < stream.size(); ++comp) {
+  // A computation budget truncates the loop, not the stream: the boundary
+  // input-load below still presents computation `limit`'s inputs (exactly
+  // as an unbudgeted run would before its deadline check), so the prefix
+  // Activity is bit-identical to the first `limit` computations of a full
+  // run.
+  const std::size_t limit =
+      computation_budget_ > 0 ? std::min(computation_budget_, stream.size())
+                              : stream.size();
+  result.outputs.reserve(limit);
+  for (std::size_t comp = 0; comp < limit; ++comp) {
     // One clock read per master period — cheap against the period's settle
     // work, frequent enough that a stuck point is caught within one
     // computation.

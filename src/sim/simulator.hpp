@@ -161,6 +161,18 @@ class Simulator {
     has_deadline_ = true;
   }
 
+  /// Cooperative computation budget (0 = unlimited, the default): run()
+  /// stops cleanly after simulating `n` computations of the stream and
+  /// returns the partial result — `n` output samples and the Activity of
+  /// exactly those master periods. The check shares the per-computation
+  /// stop point with set_deadline, but unlike the deadline it is not a
+  /// failure: it is the search layer's prefix-run primitive (evaluate a
+  /// short, deterministic prefix of the shared stimulus to bound a
+  /// configuration's power before committing to a full-depth run). The
+  /// budget applies per run() call and the simulated prefix is
+  /// bit-identical to the first `n` computations of an unbudgeted run.
+  void set_computation_budget(std::size_t n) { computation_budget_ = n; }
+
  private:
   friend class SlicedKernel;  // sim/sliced.cpp: the BitSliced engine
 
@@ -239,6 +251,7 @@ class Simulator {
   std::vector<PhaseHeatmap>* stream_heatmaps_ = nullptr;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
+  std::size_t computation_budget_ = 0;  // 0 = unlimited
 
   // BitSliced kernel state (empty in the scalar modes). Plane values of
   // net i live in net_planes_[plane_offset_[i] .. plane_offset_[i+1]);

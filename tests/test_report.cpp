@@ -42,7 +42,10 @@ power::ExperimentRecord sample_record() {
   r.stats.num_memory_cells = 40;
   r.stats.num_mux_inputs = 17;
   r.stats.num_clocks = 3;
+  r.stats.period = 6;
   r.stats.alu_summary = "2 add, 1 mul";
+  r.pareto = true;
+  r.dominated_by = "";
   return r;
 }
 
@@ -61,7 +64,8 @@ TEST(Report, CsvHeaderHasStableColumnOrder) {
             "hotspot,hotspot_share,crest,"
             "area_total_l2,area_alus_l2,area_storage_l2,area_muxes_l2,"
             "area_controller_l2,"
-            "num_alus,mem_cells,mux_inputs,num_clocks,alu_summary");
+            "num_alus,mem_cells,mux_inputs,num_clocks,period,alu_summary,"
+            "pareto,dominated_by");
   // Header only, terminated by exactly one newline.
   EXPECT_EQ(csv.back(), '\n');
   EXPECT_EQ(csv.find('\n'), csv.size() - 1);
@@ -70,6 +74,8 @@ TEST(Report, CsvHeaderHasStableColumnOrder) {
 TEST(Report, CsvRowMatchesRecordFields) {
   auto r = sample_record();
   r.stats.alu_summary = "2add+1mul";  // comma-free so a naive split works
+  r.pareto = false;
+  r.dominated_by = "2clk-int";  // non-empty so the trailing cell survives
   const auto csv = power::to_csv({r});
   std::istringstream is(csv);
   std::string header, row;
@@ -80,7 +86,7 @@ TEST(Report, CsvRowMatchesRecordFields) {
   std::istringstream rs(row);
   std::string cell;
   while (std::getline(rs, cell, ',')) cells.push_back(cell);
-  ASSERT_EQ(cells.size(), 27u);
+  ASSERT_EQ(cells.size(), 30u);
   EXPECT_EQ(cells[0], "table1_facet");
   EXPECT_EQ(cells[1], "3 Clocks");
   EXPECT_EQ(cells[2], "facet");
@@ -96,7 +102,11 @@ TEST(Report, CsvRowMatchesRecordFields) {
   EXPECT_EQ(cells[17], "2000000");    // area_total_l2
   EXPECT_EQ(cells[22], "3");          // num_alus
   EXPECT_EQ(cells[23], "40");         // mem_cells
-  EXPECT_EQ(cells[26], "2add+1mul");
+  EXPECT_EQ(cells[25], "3");          // num_clocks
+  EXPECT_EQ(cells[26], "6");          // period
+  EXPECT_EQ(cells[27], "2add+1mul");
+  EXPECT_EQ(cells[28], "0");          // pareto
+  EXPECT_EQ(cells[29], "2clk-int");   // dominated_by
 }
 
 TEST(Report, CsvQuotesFieldsWithSpecialCharacters) {
@@ -134,6 +144,9 @@ TEST(Report, JsonRoundTripsAllFields) {
   second.computations = 7;
   second.power.total = 0.015625;
   second.stats.num_clocks = 4;
+  second.stats.period = 8;
+  second.pareto = false;
+  second.dominated_by = "3 Clocks";
 
   const std::vector<power::ExperimentRecord> records{sample_record(), second};
   const auto root = jsonlite::parse(power::to_json(records));
@@ -172,7 +185,10 @@ TEST(Report, JsonRoundTripsAllFields) {
     EXPECT_EQ(j.at("stats").at("mem_cells").number, r.stats.num_memory_cells);
     EXPECT_EQ(j.at("stats").at("mux_inputs").number, r.stats.num_mux_inputs);
     EXPECT_EQ(j.at("stats").at("clocks").number, r.stats.num_clocks);
+    EXPECT_EQ(j.at("stats").at("period").number, r.stats.period);
     EXPECT_EQ(j.at("stats").at("alu_summary").str, r.stats.alu_summary);
+    EXPECT_EQ(j.at("pareto").boolean, r.pareto);
+    EXPECT_EQ(j.at("dominated_by").str, r.dominated_by);
   }
 }
 

@@ -5,16 +5,19 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
 #include <unordered_set>
 
+#include "sim/activity.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -466,6 +469,80 @@ TEST(ErrorTest, CheckMacroThrowsWithLocation) {
     EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
   }
+}
+
+// ---- order statistics (util/stats.hpp) -------------------------------------
+
+TEST(RunStatsTest, EmptySampleIsAllZerosNotNaN) {
+  const RunStats s = RunStats::from_samples({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.pct50, 0.0);
+  EXPECT_EQ(s.pct99, 0.0);
+  EXPECT_FALSE(std::isnan(s.mean));
+  EXPECT_FALSE(std::isnan(s.stddev));
+}
+
+TEST(RunStatsTest, SingleSampleHasZeroSpreadAndNoNaN) {
+  const RunStats s = RunStats::from_samples({3.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.mean, 3.5);
+  // n-1 denominator must not divide by zero at n == 1.
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev));
+  // Every percentile of a single-bucket sample is that sample.
+  EXPECT_EQ(s.pct50, 3.5);
+  EXPECT_EQ(s.pct90, 3.5);
+  EXPECT_EQ(s.pct99, 3.5);
+}
+
+TEST(RunStatsTest, NearestRankPercentileOfTwoSamples) {
+  const RunStats s = RunStats::from_samples({1.0, 2.0});
+  // Nearest rank: ceil(0.5 * 2) = 1 -> first sample; ceil(0.99 * 2) = 2 ->
+  // the max, never an interpolated value between the two.
+  EXPECT_EQ(s.pct50, 1.0);
+  EXPECT_EQ(s.pct90, 2.0);
+  EXPECT_EQ(s.pct99, 2.0);
+  EXPECT_EQ(s.max, 2.0);
+}
+
+TEST(RunStatsTest, PercentileDegenerateQuantiles) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  // A q so small the rank rounds to zero still indexes the first sample.
+  EXPECT_EQ(RunStats::percentile(sorted, 1e-9), 1.0);
+  EXPECT_EQ(RunStats::percentile(sorted, 1.0), 4.0);
+  EXPECT_EQ(RunStats::percentile({}, 0.5), 0.0);
+}
+
+TEST(SampleStatsTest, ZeroAndOneSampleHaveNoNaN) {
+  const sim::SampleStats none = sim::sample_stats({});
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_EQ(none.mean, 0.0);
+  EXPECT_EQ(none.stddev, 0.0);
+  EXPECT_EQ(none.ci95, 0.0);
+  EXPECT_FALSE(std::isnan(none.mean));
+
+  const sim::SampleStats one = sim::sample_stats({7.25});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_EQ(one.mean, 7.25);
+  EXPECT_EQ(one.stddev, 0.0);
+  EXPECT_EQ(one.ci95, 0.0);
+  EXPECT_FALSE(std::isnan(one.stddev));
+  EXPECT_FALSE(std::isnan(one.ci95));
+}
+
+TEST(SampleStatsTest, TwoSamplesMatchClosedForm) {
+  const sim::SampleStats s = sim::sample_stats({1.0, 3.0});
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  // Sample stddev with n-1 denominator: sqrt(((1-2)^2 + (3-2)^2) / 1).
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(s.ci95, 1.96 * std::sqrt(2.0) / std::sqrt(2.0));
 }
 
 }  // namespace

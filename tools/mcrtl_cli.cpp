@@ -14,6 +14,12 @@
 //   mcrtl explore (<benchmark> | --dfg <file>) [options]
 //       Design-space exploration: evaluate every configuration up to
 //       --clocks clocks in parallel, print the Pareto-marked table.
+//   mcrtl search [<benchmark>[,<benchmark>...]] [options]
+//       Guided design-space search over {benchmark x width x schedule x
+//       synthesis variant}: successive-halving prefix budgets, dominance
+//       early-abort, optional persistent result cache. Prints the
+//       per-behaviour Pareto front; --csv/--json write every surviving row
+//       (plus the pruned candidates) in a deterministic order.
 //
 // Options:
 //   --clocks N       number of non-overlapping clocks (default 2)
@@ -63,6 +69,23 @@
 //   --metrics-out FILE enable tracing; write counters/gauges/span JSON
 //   --progress       live progress on stderr (explore) + span/counter
 //                    summary tables on exit
+//   --widths LIST    (search) comma-separated datapath widths (default:
+//                    --width alone)
+//   --limits LIST    (search) comma-separated per-op-class resource limits
+//                    for list re-scheduling; 0 = the benchmark's reference
+//                    schedule (default "0")
+//   --budget-rungs N (search) prefix rungs before full depth (default 3;
+//                    0 = evaluate everything at full depth)
+//   --promote-frac F (search) fraction promoted unconditionally per rung
+//                    (default 0.4)
+//   --optimism F     (search) prefix-bound slack in (0,1] (default 0.85)
+//   --min-survivors N (search) never abort a behaviour below this many
+//                    candidates (default 4)
+//   --cache-db FILE  (search) persistent result cache: full rows are keyed
+//                    per point (reusable across overlapping sweeps), pruned
+//                    markers per sweep; a repeated search is 100% cache
+//                    hits and simulates nothing
+//   --pareto-only    (search) restrict --csv/--json to the Pareto front
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -74,6 +97,7 @@
 #include <vector>
 
 #include "core/explorer.hpp"
+#include "core/search.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
@@ -128,6 +152,15 @@ struct CliOptions {
   std::string trace_file;
   std::string metrics_file;
   bool progress = false;
+  // search-specific
+  std::string widths;        // comma list; empty = just `width`
+  std::string limits = "0";  // comma list; 0 = reference schedule
+  int budget_rungs = 3;
+  double promote_frac = 0.4;
+  double optimism = 0.85;
+  std::size_t min_survivors = 4;
+  std::string cache_db;
+  bool pareto_only = false;
 
   /// Any observability request turns collection on.
   bool obs_enabled() const {
@@ -137,8 +170,8 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcrtl <list|synth|table|emit|emit-verilog|dot|explore> "
-               "[<benchmark>] "
+               "usage: mcrtl <list|synth|table|emit|emit-verilog|dot|explore"
+               "|search> [<benchmark>] "
                "[--dfg file] [--clocks N] [--width W]\n"
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
@@ -150,7 +183,11 @@ int usage() {
                "             [--vcd file] [--power-trace-out file] "
                "[--power-top K] [--power-flame file]\n"
                "             [--trace-out file] "
-               "[--metrics-out file] [--progress]\n");
+               "[--metrics-out file] [--progress]\n"
+               "             [--widths LIST] [--limits LIST] "
+               "[--budget-rungs N] [--promote-frac F] [--optimism F]\n"
+               "             [--min-survivors N] [--cache-db file] "
+               "[--pareto-only]\n");
   return 2;
 }
 
@@ -258,6 +295,36 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.metrics_file = v;
     } else if (a == "--progress") {
       o.progress = true;
+    } else if (a == "--widths") {
+      const char* v = next();
+      if (!v) return false;
+      o.widths = v;
+    } else if (a == "--limits") {
+      const char* v = next();
+      if (!v) return false;
+      o.limits = v;
+    } else if (a == "--budget-rungs") {
+      const char* v = next();
+      if (!v) return false;
+      o.budget_rungs = std::atoi(v);
+    } else if (a == "--promote-frac") {
+      const char* v = next();
+      if (!v) return false;
+      o.promote_frac = std::atof(v);
+    } else if (a == "--optimism") {
+      const char* v = next();
+      if (!v) return false;
+      o.optimism = std::atof(v);
+    } else if (a == "--min-survivors") {
+      const char* v = next();
+      if (!v) return false;
+      o.min_survivors = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--cache-db") {
+      const char* v = next();
+      if (!v) return false;
+      o.cache_db = v;
+    } else if (a == "--pareto-only") {
+      o.pareto_only = true;
     } else if (!a.empty() && a[0] != '-') {
       o.benchmark = a;
     } else {
@@ -594,6 +661,18 @@ int cmd_explore(const CliOptions& o) {
     rec.crest = p.crest;
     rec.area = p.area;
     rec.stats = p.stats;
+    rec.pareto = p.pareto;
+    if (!p.pareto) {
+      // The lowest-power dominating row: points are sorted by ascending
+      // power, so the first power/area dominator found is it.
+      for (const auto& q : r.points) {
+        if (core::dominates_power_area(core::point_metrics(q),
+                                       core::point_metrics(p))) {
+          rec.dominated_by = q.label;
+          break;
+        }
+      }
+    }
     recs.push_back(std::move(rec));
   }
   std::fputs(t.render().c_str(), stdout);
@@ -621,6 +700,118 @@ int cmd_explore(const CliOptions& o) {
   // A quarantined point is a *reported* degradation, not a failure of the
   // sweep itself: the exit code stays 0 so scripted sweeps keep their
   // partial results.
+  return 0;
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+  }
+  return out;
+}
+
+int cmd_search(const CliOptions& o) {
+  // Behaviour grid: benchmarks (comma list) x widths x schedule resource
+  // limits. Limit 0 keeps the benchmark's reference schedule; L > 0
+  // re-schedules with a per-op-class cap of L.
+  std::vector<std::string> names;
+  {
+    std::istringstream is(o.benchmark.empty() ? std::string("facet,hal")
+                                              : o.benchmark);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      if (!tok.empty()) names.push_back(tok);
+    }
+  }
+  std::vector<int> widths = o.widths.empty()
+                                ? std::vector<int>{static_cast<int>(o.width)}
+                                : parse_int_list(o.widths);
+  std::vector<int> limits = parse_int_list(o.limits);
+  if (limits.empty()) limits.push_back(0);
+
+  // The graphs/schedules must outlive search(); the space only points at
+  // them.
+  std::vector<std::unique_ptr<dfg::Graph>> graphs;
+  std::vector<std::unique_ptr<dfg::Schedule>> schedules;
+  core::SearchSpace space;
+  for (const auto& name : names) {
+    for (const int w : widths) {
+      for (const int lim : limits) {
+        auto b = suite::by_name(name, static_cast<unsigned>(w));
+        graphs.push_back(std::move(b.graph));
+        if (lim > 0) {
+          dfg::ResourceLimits rl;
+          rl.default_limit = lim;
+          schedules.push_back(std::make_unique<dfg::Schedule>(
+              dfg::schedule_list(*graphs.back(), rl)));
+        } else {
+          schedules.push_back(std::move(b.schedule));
+        }
+        // Schedule variants of one (benchmark, width) compute the same
+        // function, so they compete in a single dominance group.
+        space.behaviours.push_back(core::SearchBehaviour{
+            str_format("%s/w%d/%s", name.c_str(), w,
+                       lim > 0 ? str_format("lim%d", lim).c_str() : "ref"),
+            graphs.back().get(), schedules.back().get(),
+            str_format("%s/w%d", name.c_str(), w)});
+      }
+    }
+  }
+  core::cross_variants(space, core::search_variants(o.clocks));
+
+  core::SearchConfig cfg;
+  cfg.computations = o.computations;
+  cfg.seed = o.seed;
+  cfg.streams = o.streams;
+  cfg.jobs = o.jobs;
+  cfg.budget_rungs = o.budget_rungs;
+  cfg.promote_fraction = o.promote_frac;
+  cfg.optimism = o.optimism;
+  cfg.min_survivors = o.min_survivors;
+  cfg.cache_db = o.cache_db;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = core::search(space, cfg);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("search: %zu candidates over %zu behaviours (%u jobs), %.2fs\n",
+              space.candidates.size(), space.behaviours.size(),
+              ThreadPool::resolve_jobs(o.jobs), elapsed);
+  std::printf("rungs: %d run, %zu aborted by dominance, %zu evaluated at "
+              "full depth\n",
+              res.rungs_run, res.aborted, res.full_evaluations);
+  if (!o.cache_db.empty()) {
+    std::printf("cache: %zu hits / %zu misses (%s)\n", res.cache_hits,
+                res.cache_misses, o.cache_db.c_str());
+  }
+
+  std::size_t front_size = 0;
+  for (const auto& r : res.rows) front_size += r.pareto ? 1 : 0;
+  std::printf("pareto front: %zu of %zu surviving rows\n\n", front_size,
+              res.rows.size());
+  TextTable t({"behaviour", "configuration", "P[mW]", "area[1e6 l^2]",
+               "period"});
+  for (const auto& r : res.rows) {
+    if (!r.pareto) continue;
+    t.add_row({r.behaviour, r.point.label, format_fixed(r.point.power.total, 2),
+               format_fixed(r.point.area.total / 1e6, 2),
+               std::to_string(r.point.stats.period)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << core::search_to_csv(res, o.pareto_only);
+    std::printf("wrote %s\n", o.csv_file.c_str());
+  }
+  if (!o.json_file.empty()) {
+    std::ofstream(o.json_file) << core::search_to_json(res, o.pareto_only);
+    std::printf("wrote %s\n", o.json_file.c_str());
+  }
   return 0;
 }
 
@@ -652,6 +843,7 @@ int dispatch(const CliOptions& o) {
   if (o.command == "emit-verilog") return cmd_emit(o, true);
   if (o.command == "dot") return cmd_dot(o);
   if (o.command == "explore") return cmd_explore(o);
+  if (o.command == "search") return cmd_search(o);
   return usage();
 }
 
