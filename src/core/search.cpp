@@ -178,6 +178,7 @@ ParetoFront ParetoFront::compute(const std::vector<SearchRow>& rows) {
 // ---- result cache -----------------------------------------------------------
 
 std::size_t ResultCache::load(const std::string& path) {
+  last_superseded_ = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) return 0;
   std::string content((std::istreambuf_iterator<char>(in)),
@@ -230,6 +231,7 @@ std::size_t ResultCache::load(const std::string& path) {
         ++bad;
         continue;
       }
+      if (rows_.count(key)) ++last_superseded_;
       rows_[key] = std::move(p);
     } else {
       std::uint64_t fp = 0, key = 0;
@@ -240,10 +242,45 @@ std::size_t ResultCache::load(const std::string& path) {
         ++bad;
         continue;
       }
+      if (pruned_.count({fp, key})) ++last_superseded_;
       pruned_[{fp, key}] = std::move(mark);
     }
   }
   return bad;
+}
+
+ResultCache::CompactStats ResultCache::load_and_compact(
+    const std::string& path, std::size_t max_rows, std::size_t max_pruned) {
+  CompactStats st;
+  // Parse into a scratch cache so the duplicate count reflects the file
+  // alone, not records this cache already held.
+  ResultCache scratch;
+  st.bad_lines = scratch.load(path);
+  st.superseded = scratch.last_superseded_;
+  if (max_rows > 0) {
+    while (scratch.rows_.size() > max_rows) {
+      scratch.rows_.erase(std::prev(scratch.rows_.end()));
+      ++st.evicted_rows;
+    }
+  }
+  if (max_pruned > 0) {
+    while (scratch.pruned_.size() > max_pruned) {
+      scratch.pruned_.erase(std::prev(scratch.pruned_.end()));
+      ++st.evicted_marks;
+    }
+  }
+  const bool dirty =
+      st.bad_lines > 0 || st.superseded > 0 || st.evicted_rows > 0 ||
+      st.evicted_marks > 0;
+  // Never rewrite a file we parsed zero records from: an all-corrupt (or
+  // foreign) file is worth more to the user as evidence than as an empty
+  // fresh DB.
+  if (dirty && scratch.rows_.size() + scratch.pruned_.size() > 0) {
+    st.rewritten = scratch.save(path);
+  }
+  for (auto& [key, p] : scratch.rows_) rows_[key] = std::move(p);
+  for (auto& [key, m] : scratch.pruned_) pruned_[key] = std::move(m);
+  return st;
 }
 
 const ExplorationPoint* ResultCache::find_row(std::uint64_t key) const {
@@ -414,8 +451,15 @@ SearchResult search(const SearchSpace& space, const SearchConfig& cfg) {
   const bool use_cache = !cfg.cache_db.empty();
   if (use_cache) {
     obs::Span load_span("search.cache.load");
-    const std::size_t bad = cache.load(cfg.cache_db);
-    if (bad > 0) obs::count("search.cache.bad_lines", bad);
+    // Compacting load: superseded duplicates and corrupt lines are dropped
+    // from the DB on disk right away, so an append-heavy cache file cannot
+    // grow without bound across runs.
+    const auto cst = cache.load_and_compact(cfg.cache_db);
+    if (cst.bad_lines > 0) obs::count("search.cache.bad_lines", cst.bad_lines);
+    if (cst.superseded > 0) {
+      obs::count("search.cache.superseded", cst.superseded);
+    }
+    if (cst.rewritten) obs::count("search.cache.compacted");
   }
 
   // Canonical-candidate state machine: Active -> (Locked | Row | Pruned).

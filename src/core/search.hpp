@@ -210,6 +210,28 @@ class ResultCache {
   /// file = no-op. Returns the number of malformed lines skipped.
   std::size_t load(const std::string& path);
 
+  /// What load_and_compact() found and did.
+  struct CompactStats {
+    std::size_t bad_lines = 0;      ///< corrupt lines dropped
+    std::size_t superseded = 0;     ///< records shadowed by a later same-key line
+    std::size_t evicted_rows = 0;   ///< rows dropped to satisfy max_rows
+    std::size_t evicted_marks = 0;  ///< pruned markers dropped for max_pruned
+    bool rewritten = false;         ///< the on-disk DB was rewritten
+  };
+
+  /// load() plus housekeeping: a DB that has accumulated superseded
+  /// duplicates (append-heavy histories), corrupt lines, or more records
+  /// than the caller wants to carry (`max_rows` / `max_pruned`, 0 = no
+  /// bound; eviction drops the numerically largest keys — deterministic,
+  /// and keys are hashes so "largest" is an unbiased victim) is rewritten
+  /// in place (atomic save) so it never grows without bound. A clean,
+  /// in-bounds DB is left untouched byte-for-byte. The surviving records
+  /// are exactly what load() would have yielded, so a compacted DB replays
+  /// identically (asserted by tests/test_search.cpp).
+  CompactStats load_and_compact(const std::string& path,
+                                std::size_t max_rows = 0,
+                                std::size_t max_pruned = 0);
+
   const ExplorationPoint* find_row(std::uint64_t key) const;
   const PrunedMark* find_pruned(std::uint64_t sweep_fp,
                                 std::uint64_t key) const;
@@ -230,6 +252,8 @@ class ResultCache {
  private:
   std::map<std::uint64_t, ExplorationPoint> rows_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, PrunedMark> pruned_;
+  /// Within-call duplicate-key count of the most recent load().
+  std::size_t last_superseded_ = 0;
 };
 
 /// Run the guided search over `space`. Throws on evaluation failure (the

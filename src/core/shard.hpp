@@ -1,0 +1,92 @@
+// Multi-process sharded sweeps: slice parsing and byte-identical merge.
+//
+// A sweep is sharded by round-robin on the enumeration index
+// (core::shard_owns): worker process k of N evaluates exactly the indices
+// i with i % N == k, journalling each completed point to its own
+// checkpoint file. This module is the other half: merge the K shard
+// journals back into one ExplorationResult that is byte-identical — down
+// to every CSV/JSON report byte — to what a single unsharded explore()
+// would have returned. See DESIGN.md §12.
+//
+// The merge is strict where resume is tolerant. A resumed sweep can always
+// re-evaluate what its journal lost; a merge has no evaluator, so every
+// defect — torn tail, checksum failure, stale fingerprint, a missing
+// index, two journals claiming one index with different payloads — is a
+// loud MergeError (or a checkpoint error), never a silently partial
+// report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "power/report.hpp"
+#include "util/error.hpp"
+
+namespace mcrtl::core {
+
+/// Thrown when a set of shard journals does not add up to exactly one
+/// complete sweep (missing or conflicting coverage).
+class MergeError : public Error {
+ public:
+  explicit MergeError(const std::string& what) : Error(what) {}
+};
+
+/// A CLI-facing shard slice. parse_shard() accepts the 1-based "i/N" the
+/// `--shard` flag takes ("2/3" = second of three workers) and yields the
+/// 0-based index ExplorerConfig carries.
+struct ShardSpec {
+  int index = 0;  ///< 0-based
+  int count = 0;  ///< total workers; 0 = unsharded
+};
+
+/// Parse "i/N" with 1 <= i <= N. Throws mcrtl::Error on anything else
+/// (malformed, zero, negative, i > N).
+ShardSpec parse_shard(const std::string& spec);
+
+/// Bookkeeping from a merge, for reporting and tests.
+struct MergeStats {
+  std::size_t journals = 0;        ///< shard journals read
+  std::size_t records = 0;         ///< total records replayed (incl. agreeing overlap)
+  std::size_t overlap_records = 0; ///< records whose index another journal already supplied
+};
+
+/// Replay `journal_paths` (one per shard worker, any order) against the
+/// sweep that `graph`/`sched`/`cfg` describe and reassemble the complete
+/// result. `cfg` is the *unsharded* configuration (its shard fields are
+/// ignored — shard assignment is an execution knob outside the journal
+/// fingerprint, so every shard journal carries the unsharded sweep's
+/// fingerprint).
+///
+/// Validation, in order, all fatal:
+///   - every journal must open, carry this sweep's fingerprint, and parse
+///     completely (CheckpointJournal::load_strict — Error /
+///     JournalMismatchError / JournalCorruptError);
+///   - two journals supplying the same index must agree byte-for-byte on
+///     the payload (agreeing overlap is tolerated and counted — e.g. the
+///     same shard run twice — but a conflict is a MergeError);
+///   - after all journals, every enumeration index must be covered
+///     (MergeError naming the missing labels).
+///
+/// The merged points are assembled in enumeration order and finished by
+/// finalize_points() — the same pre-sort order and final sort/Pareto pass
+/// as explore(), which is what makes the merged result byte-identical to
+/// an unsharded run for any shard count and any jobs value.
+ExplorationResult merge_shard_journals(const dfg::Graph& graph,
+                                       const dfg::Schedule& sched,
+                                       const ExplorerConfig& cfg,
+                                       const std::vector<std::string>& journal_paths,
+                                       MergeStats* stats = nullptr);
+
+/// The CLI/daemon report rows for an exploration result (experiment
+/// "cli_explore"): one record per point in result order, dominated_by
+/// resolved from the sorted points exactly like the explorer table.
+/// `mcrtl explore`, `mcrtl merge` and the sweep daemon all build their
+/// CSV/JSON through this one function — which is what "byte-identical
+/// reports" means across the three paths.
+std::vector<power::ExperimentRecord> explore_records(
+    const ExplorationResult& r, const std::string& benchmark, unsigned width,
+    std::size_t computations, std::size_t streams);
+
+}  // namespace mcrtl::core

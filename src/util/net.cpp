@@ -1,0 +1,238 @@
+#include "util/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace mcrtl::net {
+
+#ifndef _WIN32
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+int make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  return fd;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixConn::~UnixConn() { close(); }
+
+UnixConn::UnixConn(UnixConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+UnixConn& UnixConn::operator=(UnixConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+UnixConn UnixConn::connect(const std::string& path) {
+  const int fd = make_socket();
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect to '" + path + "'");
+  }
+  return UnixConn(fd);
+}
+
+void UnixConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void UnixConn::send_all(const std::string& data) {
+  MCRTL_CHECK(fd_ >= 0);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process-killing
+    // SIGPIPE — the daemon must survive clients vanishing mid-response.
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool UnixConn::recv_line(std::string& line, std::size_t max_len) {
+  MCRTL_CHECK(fd_ >= 0);
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (line.size() > max_len) {
+        throw Error("line exceeds " + std::to_string(max_len) + " bytes");
+      }
+      return true;
+    }
+    if (buf_.size() > max_len) {
+      // Unterminated flood: stop buffering before it grows without bound.
+      throw Error("line exceeds " + std::to_string(max_len) + " bytes");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error("receive timed out");
+      }
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (buf_.empty()) return false;
+      throw Error("connection closed mid-line");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string UnixConn::recv_exact(std::size_t n) {
+  MCRTL_CHECK(fd_ >= 0);
+  std::string out = std::move(buf_);
+  buf_.clear();
+  if (out.size() > n) {
+    buf_ = out.substr(n);
+    out.resize(n);
+    return out;
+  }
+  while (out.size() < n) {
+    char chunk[4096];
+    const std::size_t want = std::min(sizeof(chunk), n - out.size());
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error("receive timed out");
+      }
+      throw_errno("recv");
+    }
+    if (got == 0) throw Error("connection closed mid-payload");
+    out.append(chunk, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+void UnixConn::set_recv_timeout(double seconds) {
+  MCRTL_CHECK(fd_ >= 0);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  // A stale socket file from a crashed daemon would make bind() fail with
+  // EADDRINUSE even though nobody is listening; remove it first. A *live*
+  // daemon is unaffected — its listening fd survives the unlink, but two
+  // daemons on one path is caller error this class cannot detect.
+  ::unlink(path.c_str());
+  fd_ = make_socket();
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("bind/listen on '" + path + "'");
+  }
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+UnixConn UnixListener::accept(int timeout_ms) {
+  MCRTL_CHECK(fd_ >= 0);
+  pollfd p{};
+  p.fd = fd_;
+  p.events = POLLIN;
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return UnixConn();
+    throw_errno("poll");
+  }
+  if (rc == 0) return UnixConn();
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return UnixConn();
+    throw_errno("accept");
+  }
+  return UnixConn(cfd);
+}
+
+#else  // _WIN32: the daemon is POSIX-only; every operation fails cleanly.
+
+UnixConn::~UnixConn() = default;
+UnixConn::UnixConn(UnixConn&&) noexcept {}
+UnixConn& UnixConn::operator=(UnixConn&&) noexcept { return *this; }
+UnixConn UnixConn::connect(const std::string&) {
+  throw Error("unix sockets are not supported on this platform");
+}
+void UnixConn::close() {}
+void UnixConn::send_all(const std::string&) {
+  throw Error("unix sockets are not supported on this platform");
+}
+bool UnixConn::recv_line(std::string&, std::size_t) {
+  throw Error("unix sockets are not supported on this platform");
+}
+std::string UnixConn::recv_exact(std::size_t) {
+  throw Error("unix sockets are not supported on this platform");
+}
+void UnixConn::set_recv_timeout(double) {}
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  throw Error("unix sockets are not supported on this platform");
+}
+UnixListener::~UnixListener() = default;
+void UnixListener::close() {}
+UnixConn UnixListener::accept(int) { return UnixConn(); }
+
+#endif
+
+}  // namespace mcrtl::net

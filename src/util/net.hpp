@@ -1,0 +1,82 @@
+// Minimal Unix-domain stream-socket helpers.
+//
+// The sweep-serving daemon (core/serve.hpp) speaks a line-oriented protocol
+// over a local socket; these wrappers are the only place raw socket fds are
+// handled. Deliberately tiny: bind/listen/accept with a poll timeout on the
+// server side, connect/send/recv with receive timeouts on both sides, and
+// bounded line reads so an oversized or never-terminated request cannot
+// pin a handler thread or grow memory without limit.
+//
+// POSIX-only (the daemon is a local-host feature); on _WIN32 the header
+// still compiles but every operation fails with mcrtl::Error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcrtl::net {
+
+/// A connected stream socket (one end of an accepted or dialed connection).
+/// Move-only; the destructor closes the fd.
+class UnixConn {
+ public:
+  UnixConn() = default;
+  explicit UnixConn(int fd) : fd_(fd) {}
+  ~UnixConn();
+  UnixConn(UnixConn&& other) noexcept;
+  UnixConn& operator=(UnixConn&& other) noexcept;
+  UnixConn(const UnixConn&) = delete;
+  UnixConn& operator=(const UnixConn&) = delete;
+
+  /// Dial the Unix socket at `path`. Throws mcrtl::Error on failure.
+  static UnixConn connect(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Send all of `data` (retrying short writes). Throws on error.
+  void send_all(const std::string& data);
+
+  /// Read one '\n'-terminated line (the newline is consumed, not returned).
+  /// Returns false on a clean EOF before any byte. Throws mcrtl::Error on a
+  /// receive timeout, an I/O error, or when the line exceeds `max_len`
+  /// bytes — the caller must treat that connection as poisoned.
+  bool recv_line(std::string& line, std::size_t max_len);
+
+  /// Read exactly `n` bytes. Throws on EOF, timeout or error.
+  std::string recv_exact(std::size_t n);
+
+  /// Receive timeout for subsequent reads (0 = block forever).
+  void set_recv_timeout(double seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// A listening Unix socket. Binds at construction (unlinking a stale socket
+/// file first) and unlinks the path again on destruction.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Wait up to `timeout_ms` for a connection. Returns an invalid conn on
+  /// timeout; throws mcrtl::Error on a socket error.
+  UnixConn accept(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+  void close();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace mcrtl::net

@@ -1,0 +1,64 @@
+// Child-process helpers for multi-process sweeps.
+//
+// The sharded explorer and the sweep-serving daemon fan work out to real
+// worker *processes* (the host is 1-core-per-thread bound — see
+// BENCH_explorer.json — so the next scaling axis is processes/machines).
+// This is the one place fork/exec lives: spawn an argv vector with
+// stdout/stderr optionally discarded, wait for exit, or kill. fork() is
+// followed immediately by execv (only async-signal-safe calls in between),
+// which is the only fork discipline that is safe from a multithreaded
+// parent such as the daemon's connection handlers.
+//
+// POSIX-only; on _WIN32 spawn() throws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcrtl::proc {
+
+/// Absolute path of the running executable (/proc/self/exe on Linux).
+/// Empty when the platform cannot tell — callers must handle that.
+std::string self_exe_path();
+
+/// A spawned child process. Move-only; the destructor does NOT kill or
+/// reap the child — call wait() (or kill() then wait()) explicitly, or the
+/// child is deliberately left running (daemon workers own their children).
+class Subprocess {
+ public:
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Spawn `argv` (argv[0] is the executable path). With `quiet`, the
+  /// child's stdout/stderr go to /dev/null. Throws mcrtl::Error if the
+  /// fork fails or argv is empty; an exec failure surfaces as exit code
+  /// 127 from wait().
+  static Subprocess spawn(const std::vector<std::string>& argv,
+                          bool quiet = false);
+
+  bool running() const { return pid_ > 0; }
+  long pid() const { return pid_; }
+
+  /// Block until the child exits. Returns its exit code, or 128+signal
+  /// when it died on a signal. Throws if there is no child to wait for.
+  int wait();
+
+  /// Send `sig` (e.g. SIGKILL) to the child. No-op when already reaped.
+  void kill_child(int sig);
+
+ private:
+  long pid_ = -1;
+};
+
+/// Spawn every argv in `argvs` concurrently and wait for all of them.
+/// Returns the exit codes in order. Children that cannot be spawned count
+/// as exit code 127.
+std::vector<int> run_all(const std::vector<std::vector<std::string>>& argvs,
+                         bool quiet = false);
+
+}  // namespace mcrtl::proc

@@ -301,6 +301,128 @@ TEST(ResultCache, MissingAndForeignFilesAreColdCaches) {
   std::remove(db.c_str());
 }
 
+namespace {
+
+core::ExplorationPoint cache_point(std::uint64_t k, double bias) {
+  core::ExplorationPoint p;
+  p.label = "pt" + std::to_string(k);
+  p.power.total = 1.0 / 3.0 + static_cast<double>(k) + bias;
+  p.area.total = 100.0 + static_cast<double>(k);
+  p.stats.period = 4;
+  p.stats.num_clocks = 2;
+  return p;
+}
+
+std::string slurp_db(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+TEST(ResultCache, CompactionDropsSupersededAndCorruptAndReplaysIdentically) {
+  const std::string db = tmp_path("compact.db");
+  std::remove(db.c_str());
+
+  // An append-heavy history: stale payloads for keys 1..3, then current
+  // ones (later wins), then a corrupt line.
+  core::ResultCache stale;
+  for (std::uint64_t k = 1; k <= 3; ++k) stale.put_row(k, cache_point(k, 99.0));
+  ASSERT_TRUE(stale.save(db));
+  core::ResultCache current;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    current.put_row(k, cache_point(k, 0.0));
+  }
+  current.put_pruned(7, 8, core::ResultCache::PrunedMark{2, "winner"});
+  const std::string tmp2 = tmp_path("compact2.db");
+  ASSERT_TRUE(current.save(tmp2));
+  const std::string second = slurp_db(tmp2);
+  std::remove(tmp2.c_str());
+  {
+    std::ofstream out(db, std::ios::binary | std::ios::app);
+    out << second.substr(second.find('\n') + 1);  // records, not the header
+    out << "r this line is garbage\n";
+  }
+
+  core::ResultCache cache;
+  const auto stats = cache.load_and_compact(db);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.superseded, 3u);
+  EXPECT_TRUE(stats.rewritten);
+  EXPECT_EQ(cache.num_rows(), 3u);
+
+  // The rewritten DB replays identically: same keys, bit-identical
+  // payloads, nothing stale or corrupt left behind.
+  core::ResultCache replay;
+  EXPECT_EQ(replay.load(db), 0u);
+  EXPECT_EQ(replay.num_rows(), 3u);
+  EXPECT_EQ(replay.num_pruned(), 1u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const auto* p = replay.find_row(k);
+    ASSERT_NE(p, nullptr) << k;
+    EXPECT_EQ(core::record::encode_point_fields(*p),
+              core::record::encode_point_fields(cache_point(k, 0.0)))
+        << k;
+  }
+  ASSERT_NE(replay.find_pruned(7, 8), nullptr);
+
+  // A clean, in-bounds DB is left untouched byte-for-byte.
+  const std::string before = slurp_db(db);
+  core::ResultCache again;
+  const auto stats2 = again.load_and_compact(db);
+  EXPECT_FALSE(stats2.rewritten);
+  EXPECT_EQ(stats2.bad_lines, 0u);
+  EXPECT_EQ(stats2.superseded, 0u);
+  EXPECT_EQ(before, slurp_db(db));
+  std::remove(db.c_str());
+}
+
+TEST(ResultCache, CompactionBoundsTheDatabaseSize) {
+  const std::string db = tmp_path("compact_bound.db");
+  std::remove(db.c_str());
+  core::ResultCache big;
+  for (std::uint64_t k = 1; k <= 6; ++k) big.put_row(k, cache_point(k, 0.0));
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    big.put_pruned(s, 100 + s, core::ResultCache::PrunedMark{1, "x"});
+  }
+  ASSERT_TRUE(big.save(db));
+
+  core::ResultCache cache;
+  const auto stats = cache.load_and_compact(db, /*max_rows=*/4,
+                                            /*max_pruned=*/2);
+  EXPECT_EQ(stats.evicted_rows, 2u);
+  EXPECT_EQ(stats.evicted_marks, 2u);
+  EXPECT_TRUE(stats.rewritten);
+  EXPECT_EQ(cache.num_rows(), 4u);
+  EXPECT_EQ(cache.num_pruned(), 2u);
+  // Deterministic victims: the numerically largest keys go first.
+  EXPECT_NE(cache.find_row(1), nullptr);
+  EXPECT_NE(cache.find_row(4), nullptr);
+  EXPECT_EQ(cache.find_row(5), nullptr);
+  EXPECT_EQ(cache.find_row(6), nullptr);
+
+  core::ResultCache replay;
+  EXPECT_EQ(replay.load(db), 0u);
+  EXPECT_EQ(replay.num_rows(), 4u);
+  EXPECT_EQ(replay.num_pruned(), 2u);
+  std::remove(db.c_str());
+}
+
+TEST(ResultCache, CompactionNeverRewritesAnAllCorruptFile) {
+  // A file that parses to nothing is worth more as evidence than as an
+  // empty cache: compaction must leave it alone.
+  const std::string db = tmp_path("compact_foreign.db");
+  std::ofstream(db) << "some other format v9\nr garbage\n";
+  const std::string before = slurp_db(db);
+  core::ResultCache cache;
+  const auto stats = cache.load_and_compact(db);
+  EXPECT_FALSE(stats.rewritten);
+  EXPECT_EQ(cache.num_rows(), 0u);
+  EXPECT_EQ(before, slurp_db(db));
+  std::remove(db.c_str());
+}
+
 TEST(Search, PrunedMarkersDoNotLeakIntoADifferentSweep) {
   const Grid g = small_grid();
   const std::string db = tmp_path("sweepfp.db");

@@ -20,6 +20,20 @@
 //       early-abort, optional persistent result cache. Prints the
 //       per-behaviour Pareto front; --csv/--json write every surviving row
 //       (plus the pruned candidates) in a deterministic order.
+//   mcrtl merge (<benchmark> | --dfg <file>) --journals a,b,... [options]
+//       Merge the checkpoint journals of a sharded sweep (see --shard)
+//       into the complete result. Strict: a torn/corrupt/stale journal,
+//       overlapping disagreement or missing coverage aborts with a
+//       diagnostic; on success the --csv/--json reports are byte-identical
+//       to an unsharded `mcrtl explore` of the same sweep.
+//   mcrtl serve --socket PATH [--shards N] [--cache-db FILE] [options]
+//       Long-lived sweep daemon on a unix socket: dedupes concurrent
+//       identical requests, serves repeated sweeps from the point cache,
+//       optionally fans each computed sweep out to N shard worker
+//       processes. Stop with `mcrtl query --socket PATH --shutdown`.
+//   mcrtl query <benchmark> --socket PATH [options]
+//       Ask a running daemon for a sweep; prints the CSV report (the same
+//       bytes `mcrtl explore --csv` writes) on stdout.
 //
 // Options:
 //   --clocks N       number of non-overlapping clocks (default 2)
@@ -44,6 +58,17 @@
 //                    resumes, skipping journalled points (byte-identical
 //                    reports). A journal from a different configuration is
 //                    rejected.
+//   --shard i/N      (explore) evaluate only shard i of N (1-based): the
+//                    enumeration indices with (index-1) mod N == i-1 by
+//                    round-robin. Requires --checkpoint — the journal is
+//                    the shard's product; run all N shards (as separate
+//                    processes, any order) and `mcrtl merge` the journals
+//   --journals LIST  (merge) comma-separated shard journal files
+//   --socket PATH    (serve/query) unix socket of the sweep daemon
+//   --shards N       (serve) fan each computed sweep out to N worker
+//                    processes (default: compute in-process)
+//   --work-dir DIR   (serve) scratch directory for shard journals
+//   --shutdown       (query) ask the daemon to stop instead of sweeping
 //   --point-timeout S (explore) per-point simulation deadline in seconds;
 //                    an expired point is retried/quarantined like a failure
 //   --retries N      (explore) extra attempts per failing point (default 0)
@@ -98,6 +123,8 @@
 
 #include "core/explorer.hpp"
 #include "core/search.hpp"
+#include "core/serve.hpp"
+#include "core/shard.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
@@ -113,6 +140,7 @@
 #include "suite/benchmarks.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
+#include "util/subprocess.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -161,6 +189,13 @@ struct CliOptions {
   std::size_t min_survivors = 4;
   std::string cache_db;
   bool pareto_only = false;
+  // shard/daemon-specific
+  std::string shard;     // "i/N" (explore)
+  std::string journals;  // comma list (merge)
+  std::string socket;    // unix socket path (serve/query)
+  int shards = 0;        // worker processes per sweep (serve)
+  std::string work_dir;  // shard journal scratch (serve)
+  bool shutdown = false; // query: stop the daemon
 
   /// Any observability request turns collection on.
   bool obs_enabled() const {
@@ -171,7 +206,7 @@ struct CliOptions {
 int usage() {
   std::fprintf(stderr,
                "usage: mcrtl <list|synth|table|emit|emit-verilog|dot|explore"
-               "|search> [<benchmark>] "
+               "|search|merge|serve|query> [<benchmark>] "
                "[--dfg file] [--clocks N] [--width W]\n"
                "             [--style conv|gated|multi] [--method "
                "integrated|split] [--dff] [--isolation]\n"
@@ -187,7 +222,9 @@ int usage() {
                "             [--widths LIST] [--limits LIST] "
                "[--budget-rungs N] [--promote-frac F] [--optimism F]\n"
                "             [--min-survivors N] [--cache-db file] "
-               "[--pareto-only]\n");
+               "[--pareto-only]\n"
+               "             [--shard i/N] [--journals a,b,...] "
+               "[--socket path] [--shards N] [--work-dir dir] [--shutdown]\n");
   return 2;
 }
 
@@ -325,6 +362,28 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.cache_db = v;
     } else if (a == "--pareto-only") {
       o.pareto_only = true;
+    } else if (a == "--shard") {
+      const char* v = next();
+      if (!v) return false;
+      o.shard = v;
+    } else if (a == "--journals") {
+      const char* v = next();
+      if (!v) return false;
+      o.journals = v;
+    } else if (a == "--socket") {
+      const char* v = next();
+      if (!v) return false;
+      o.socket = v;
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      o.shards = std::atoi(v);
+    } else if (a == "--work-dir") {
+      const char* v = next();
+      if (!v) return false;
+      o.work_dir = v;
+    } else if (a == "--shutdown") {
+      o.shutdown = true;
     } else if (!a.empty() && a[0] != '-') {
       o.benchmark = a;
     } else {
@@ -567,14 +626,22 @@ int cmd_table(const CliOptions& o) {
   return 0;
 }
 
-int cmd_explore(const CliOptions& o) {
-  const Loaded l = load(o);
+/// The explore/merge ExplorerConfig, minus execution knobs only explore
+/// uses — both commands must describe the *same sweep* (same checkpoint
+/// fingerprint) or merge would reject every shard journal.
+core::ExplorerConfig explorer_config(const CliOptions& o) {
   core::ExplorerConfig cfg;
   cfg.max_clocks = o.clocks;
   cfg.include_dff_variant = o.dff;
   cfg.computations = o.computations;
   cfg.seed = o.seed;
   cfg.streams = o.streams;
+  return cfg;
+}
+
+int cmd_explore(const CliOptions& o) {
+  const Loaded l = load(o);
+  core::ExplorerConfig cfg = explorer_config(o);
   cfg.jobs = o.jobs;
   cfg.checkpoint_file = o.checkpoint_file;
   cfg.point_timeout_s = o.point_timeout_s;
@@ -583,6 +650,16 @@ int cmd_explore(const CliOptions& o) {
   // The CLI sweep is fault-isolated by default: one bad configuration is
   // reported in the "failed" table below rather than killing a long run.
   cfg.quarantine = !o.no_quarantine;
+  if (!o.shard.empty()) {
+    const core::ShardSpec spec = core::parse_shard(o.shard);
+    cfg.shard_index = spec.index;
+    cfg.shard_count = spec.count;
+    if (cfg.shard_count > 1 && o.checkpoint_file.empty()) {
+      throw mcrtl::Error(
+          "--shard needs --checkpoint: the journal is the shard's product "
+          "(mcrtl merge reassembles the sweep from the shard journals)");
+    }
+  }
 
   // Live progress: counts points as workers finish them (the hook runs
   // concurrently — everything it touches is atomic or a local stderr write).
@@ -623,6 +700,9 @@ int cmd_explore(const CliOptions& o) {
 
   std::printf("%s: %zu design points (%u jobs)", l.name.c_str(),
               r.points.size(), ThreadPool::resolve_jobs(o.jobs));
+  if (cfg.shard_count > 1) {
+    std::printf(", shard %d/%d", cfg.shard_index + 1, cfg.shard_count);
+  }
   if (r.replayed_points > 0) {
     std::printf(", %zu replayed from %s", r.replayed_points,
                 o.checkpoint_file.c_str());
@@ -636,7 +716,6 @@ int cmd_explore(const CliOptions& o) {
                                                 "Pareto"}
                      : std::vector<std::string>{"configuration", "P[mW]",
                                                 "area[1e6 l^2]", "Pareto"});
-  std::vector<power::ExperimentRecord> recs;
   for (const auto& p : r.points) {
     if (sliced) {
       t.add_row({p.label, format_fixed(p.power.total, 2),
@@ -646,35 +725,11 @@ int cmd_explore(const CliOptions& o) {
       t.add_row({p.label, format_fixed(p.power.total, 2),
                  format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
     }
-    power::ExperimentRecord rec;
-    rec.experiment = "cli_explore";
-    rec.design = p.label;
-    rec.benchmark = l.name;
-    rec.width = l.graph->width();
-    rec.computations = o.computations;
-    rec.streams = o.streams;
-    rec.power = p.power;
-    rec.power_stddev = p.power_stddev;
-    rec.power_ci95 = p.power_ci95;
-    rec.hotspot = p.hotspot;
-    rec.hotspot_share = p.hotspot_share;
-    rec.crest = p.crest;
-    rec.area = p.area;
-    rec.stats = p.stats;
-    rec.pareto = p.pareto;
-    if (!p.pareto) {
-      // The lowest-power dominating row: points are sorted by ascending
-      // power, so the first power/area dominator found is it.
-      for (const auto& q : r.points) {
-        if (core::dominates_power_area(core::point_metrics(q),
-                                       core::point_metrics(p))) {
-          rec.dominated_by = q.label;
-          break;
-        }
-      }
-    }
-    recs.push_back(std::move(rec));
   }
+  // One record builder for explore, merge and the daemon — byte-identical
+  // CSV/JSON across all three paths.
+  const auto recs = core::explore_records(r, l.name, l.graph->width(),
+                                          o.computations, o.streams);
   std::fputs(t.render().c_str(), stdout);
   if (!r.failed_points.empty()) {
     std::printf("\n%zu configuration(s) failed and were quarantined:\n",
@@ -700,6 +755,135 @@ int cmd_explore(const CliOptions& o) {
   // A quarantined point is a *reported* degradation, not a failure of the
   // sweep itself: the exit code stays 0 so scripted sweeps keep their
   // partial results.
+  return 0;
+}
+
+int cmd_merge(const CliOptions& o) {
+  if (o.journals.empty()) {
+    throw mcrtl::Error("merge needs --journals a.journal,b.journal,...");
+  }
+  std::vector<std::string> paths;
+  {
+    std::istringstream is(o.journals);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      if (!tok.empty()) paths.push_back(tok);
+    }
+  }
+  const Loaded l = load(o);
+  const core::ExplorerConfig cfg = explorer_config(o);
+  core::MergeStats ms;
+  const auto r =
+      core::merge_shard_journals(*l.graph, *l.schedule, cfg, paths, &ms);
+
+  std::printf("%s: merged %zu design points from %zu shard journal(s)",
+              l.name.c_str(), r.points.size(), ms.journals);
+  if (ms.overlap_records > 0) {
+    std::printf(", %zu agreeing overlap record(s)", ms.overlap_records);
+  }
+  std::printf("\n\n");
+  const bool sliced = o.streams > 1;
+  TextTable t(sliced ? std::vector<std::string>{"configuration", "P[mW]",
+                                                "+/-95%", "area[1e6 l^2]",
+                                                "Pareto"}
+                     : std::vector<std::string>{"configuration", "P[mW]",
+                                                "area[1e6 l^2]", "Pareto"});
+  for (const auto& p : r.points) {
+    if (sliced) {
+      t.add_row({p.label, format_fixed(p.power.total, 2),
+                 format_fixed(p.power_ci95, 2),
+                 format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    } else {
+      t.add_row({p.label, format_fixed(p.power.total, 2),
+                 format_fixed(p.area.total / 1e6, 2), p.pareto ? "*" : ""});
+    }
+  }
+  const auto recs = core::explore_records(r, l.name, l.graph->width(),
+                                          o.computations, o.streams);
+  std::fputs(t.render().c_str(), stdout);
+  if (!r.points.empty()) {
+    std::printf("best power: %s (%.2f mW)\n", r.best_power().label.c_str(),
+                r.best_power().power.total);
+  }
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << power::to_csv(recs);
+    std::printf("wrote %s\n", o.csv_file.c_str());
+  }
+  if (!o.json_file.empty()) {
+    std::ofstream(o.json_file) << power::to_json(recs);
+    std::printf("wrote %s\n", o.json_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_serve(const CliOptions& o) {
+  if (o.socket.empty()) throw mcrtl::Error("serve needs --socket PATH");
+  core::SweepServer::Config sc;
+  sc.socket_path = o.socket;
+  sc.cache_db = o.cache_db;
+  sc.work_dir = o.work_dir;
+  sc.shards = o.shards;
+  sc.jobs = o.jobs;
+  if (o.shards > 1) {
+    sc.cli_path = proc::self_exe_path();
+    if (sc.cli_path.empty()) {
+      throw mcrtl::Error(
+          "--shards needs the executable's own path, which this platform "
+          "cannot provide; run without --shards");
+    }
+  }
+  core::SweepServer server(std::move(sc));
+  server.start();
+  std::printf("serving on %s (%s%s)\n", o.socket.c_str(),
+              o.shards > 1
+                  ? str_format("%d shard processes per sweep", o.shards)
+                        .c_str()
+                  : "in-process",
+              o.cache_db.empty() ? "" : ", persistent cache");
+  std::fflush(stdout);
+  server.wait_until_stopped();
+  server.stop();
+  const auto st = server.stats();
+  std::printf("served %llu request(s): %llu computed, %llu from cache, "
+              "%llu joined in-flight, %llu rejected\n",
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.sweeps_computed),
+              static_cast<unsigned long long>(st.served_from_cache),
+              static_cast<unsigned long long>(st.joined_inflight),
+              static_cast<unsigned long long>(st.rejected));
+  return 0;
+}
+
+int cmd_query(const CliOptions& o) {
+  if (o.socket.empty()) throw mcrtl::Error("query needs --socket PATH");
+  if (o.shutdown) {
+    if (!core::serve_shutdown(o.socket)) {
+      throw mcrtl::Error("daemon at " + o.socket +
+                         " did not acknowledge the shutdown");
+    }
+    std::printf("daemon at %s shutting down\n", o.socket.c_str());
+    return 0;
+  }
+  if (o.benchmark.empty()) throw mcrtl::Error("query needs a benchmark name");
+  core::SweepRequest req;
+  req.benchmark = o.benchmark;
+  req.width = o.width;
+  req.clocks = o.clocks;
+  req.dff = o.dff;
+  req.computations = o.computations;
+  req.seed = o.seed;
+  req.streams = o.streams;
+  const auto rep = core::serve_query(o.socket, req);
+  if (!rep.ok) throw mcrtl::Error("daemon refused the sweep: " + rep.error);
+  std::fprintf(stderr, "%zu rows, %s (cached %zu/%zu points, fp %s)\n",
+               rep.rows, rep.computed ? "computed" : "served from cache",
+               rep.cached_points, rep.total_points, rep.fingerprint.c_str());
+  if (!o.csv_file.empty()) {
+    std::ofstream(o.csv_file) << rep.payload;
+    std::fprintf(stderr, "wrote %s\n", o.csv_file.c_str());
+  } else {
+    std::fputs(rep.payload.c_str(), stdout);
+  }
   return 0;
 }
 
@@ -844,6 +1028,9 @@ int dispatch(const CliOptions& o) {
   if (o.command == "dot") return cmd_dot(o);
   if (o.command == "explore") return cmd_explore(o);
   if (o.command == "search") return cmd_search(o);
+  if (o.command == "merge") return cmd_merge(o);
+  if (o.command == "serve") return cmd_serve(o);
+  if (o.command == "query") return cmd_query(o);
   return usage();
 }
 
